@@ -1,0 +1,42 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark module regenerates one experiment from DESIGN.md's
+index (E1–E9).  Besides the pytest-benchmark timings, every experiment
+writes its artifact table to ``benchmarks/results/<exp>.md`` so the
+paper-versus-measured comparison in EXPERIMENTS.md can be re-derived
+from a fresh run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_table(results_dir: pathlib.Path, name: str, title: str,
+                headers: list[str], rows: list[list]) -> str:
+    """Render a Markdown table, write it to results/<name>.md, return it."""
+    widths = [len(h) for h in headers]
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = [f"# {title}", "", fmt(headers),
+             fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered_rows)
+    text = "\n".join(lines) + "\n"
+    (results_dir / f"{name}.md").write_text(text)
+    return text

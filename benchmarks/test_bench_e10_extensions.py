@@ -1,0 +1,145 @@
+"""E10 — Section 9 / conclusion extensions (beyond the paper's core).
+
+Three features the paper describes but does not develop, implemented
+and measured here:
+
+* **external predicates** (Section 9(d)): comparison atoms compile to
+  selections and contribute no bounding information;
+* **parameterized queries** (Section 9(c), 'em-allowed for X'): the
+  translation starts from a parameter relation the host binds at run
+  time, and batch-binding amortizes one plan over many parameter
+  tuples;
+* **finiteness annotations** (conclusion, [RBS87]/[Coh86]): the
+  ``R(w) & u + v = w`` example — rejected by the paper's own framework,
+  translated and executed once ``plus`` carries inversion annotations.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+from repro.algebra.evaluator import evaluate
+from repro.algebra.printer import to_algebra_text
+from repro.core.parser import parse_query
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.engine.executor import execute
+from repro.errors import NotEmAllowedError
+from repro.finds.annotations import nonneg_sum_registry
+from repro.safety.em_allowed import em_allowed
+from repro.translate.parameterized import (
+    bind_parameters,
+    parameterized_query,
+    translate_parameterized,
+)
+from repro.translate.pipeline import translate_query
+
+
+def test_e10_comparisons(benchmark, results_dir):
+    inst = Instance.of(R=[(v,) for v in range(50)])
+    interp = Interpretation({"f": lambda v: (v * 7) % 50})
+
+    def run() -> list[list]:
+        rows = []
+        for text in [
+            "{ x | R(x) & x < 10 }",
+            "{ x | R(x) & ~(x < 10) }",
+            "{ x | R(x) & f(x) > 25 }",
+            "{ x | R(x) & (x < 5 | x >= 45) }",
+        ]:
+            q = parse_query(text)
+            res = translate_query(q)
+            report = execute(res.plan, inst, interp, schema=res.schema)
+            rows.append([text, len(report.result),
+                         to_algebra_text(res.plan)[:60]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E10_comparisons",
+        "E10 — external predicates (comparisons) as selections",
+        ["query", "answers", "plan (prefix)"],
+        rows,
+    )
+    assert rows[0][1] == 10 and rows[1][1] == 40
+    print(table)
+
+
+def test_e10_parameterized_batching(benchmark, results_dir):
+    from repro.core.schema import DatabaseSchema
+    schema = DatabaseSchema.of({"EMP": 2}, {})
+    inst = Instance.of(EMP=[(f"e{i}", 100 * i) for i in range(60)])
+    interp = Interpretation({})
+    pq = parameterized_query(["lo"], ["n"],
+                             "exists s (EMP(n, s) & s > lo)", schema)
+    result = translate_parameterized(pq, schema)
+
+    def run() -> list[list]:
+        rows = []
+        for batch in (1, 8, 32):
+            plan = bind_parameters(result.plan,
+                                   [(100 * i,) for i in range(batch)])
+            report = execute(plan, inst, interp, schema=result.schema)
+            rows.append([batch, len(report.result),
+                         report.intermediate_rows,
+                         f"{report.elapsed_seconds*1e3:.1f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E10_parameterized",
+        "E10 — one translated plan, batch-bound parameters",
+        ["parameter tuples", "answers", "interm. rows", "time"],
+        rows,
+    )
+    assert rows[-1][1] > rows[0][1]
+    print(table)
+
+
+def test_e10_annotations(benchmark, results_dir):
+    registry = nonneg_sum_registry()
+    interp = Interpretation(
+        {"plus": lambda u, v: u + v},
+        enumerators={
+            "plus_decompositions": lambda w: (
+                ((u, w - u) for u in range(w + 1))
+                if isinstance(w, int) and w >= 0 else ()
+            ),
+            "plus_second_arg": lambda w, u: (
+                ((w - u,),)
+                if isinstance(w, int) and isinstance(u, int) and w - u >= 0
+                else ()
+            ),
+        },
+    )
+    q = parse_query("{ u, v, w | R(w) & plus(u, v) = w }")
+
+    def run() -> list[list]:
+        rows = []
+        without = "em-allowed" if em_allowed(q.body) else "rejected"
+        with_ann = ("em-allowed" if em_allowed(q.body, annotations=registry)
+                    else "rejected")
+        rows.append(["safety check", without, with_ann])
+        try:
+            translate_query(q)
+            t_without = "translated"
+        except NotEmAllowedError:
+            t_without = "refused"
+        res = translate_query(q, annotations=registry)
+        rows.append(["translation", t_without, "translated"])
+        for n in (8, 32, 128):
+            inst = Instance.of(R=[(w,) for w in range(n)])
+            report = execute(res.plan, inst, interp, schema=res.schema)
+            rows.append([f"execute |R|={n}", "-", f"{len(report.result)} rows "
+                         f"in {report.elapsed_seconds*1e3:.1f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E10_annotations",
+        "E10 — the conclusion's R(w) & u + v = w, via finiteness annotations",
+        ["stage", "paper framework", "with annotations"],
+        rows,
+    )
+    assert rows[0][1] == "rejected" and rows[0][2] == "em-allowed"
+    assert rows[1][1] == "refused"
+    print(table)

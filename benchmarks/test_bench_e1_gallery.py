@@ -1,0 +1,60 @@
+"""E1 — the paper's query gallery: classification table.
+
+Regenerates the classifications the paper states for q1–q5 (and the
+worked examples): em-allowed, [GT91] allowed, [Top91] safe, [AB88]
+range-restricted, translatability, and T10-dependence.  The paper has
+no numeric table; this grid *is* its Section 1–2 claims, one row per
+query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.errors import TransformationStuckError
+from repro.safety import allowed, em_allowed, range_restricted, safe_top91
+from repro.translate.pipeline import translate_query
+from repro.workloads.gallery import GALLERY
+
+
+def _classify_all() -> list[list]:
+    rows = []
+    for key, entry in GALLERY.items():
+        body = entry.query.body
+        translated = "yes" if entry.translatable else "refused"
+        needs_t10 = "-"
+        if entry.translatable:
+            try:
+                translate_query(entry.query, enable_t10=False)
+                needs_t10 = "no"
+            except TransformationStuckError:
+                needs_t10 = "YES"
+        rows.append([
+            key,
+            "yes" if em_allowed(body) else "no",
+            "yes" if allowed(body) else "no",
+            "yes" if safe_top91(body) else "no",
+            "yes" if range_restricted(body) else "no",
+            translated,
+            needs_t10,
+        ])
+    return rows
+
+
+def test_e1_gallery_classifications(benchmark, results_dir):
+    rows = benchmark(_classify_all)
+    table = write_table(
+        results_dir, "E1_gallery",
+        "E1 — safety-criterion classification of the paper's queries",
+        ["query", "em-allowed", "allowed[GT91]", "safe[Top91]",
+         "range-restr[AB88]", "translated", "needs T10"],
+        rows,
+    )
+    by_key = {row[0]: row for row in rows}
+    # The headline claims of the paper, re-asserted from the fresh run:
+    assert by_key["q3"][1] == "yes" and by_key["q3"][4] == "no"   # em-allowed, not RR
+    assert by_key["q5"][1] == "yes" and by_key["q5"][3] == "no"   # em-allowed, not safe
+    assert by_key["q4"][3] == "yes" and by_key["q4"][6] == "YES"  # safe but needs T10
+    assert by_key["q6"][1] == "no"                                 # not em-allowed
+    print(table)

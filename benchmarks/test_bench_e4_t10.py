@@ -1,0 +1,84 @@
+"""E4 — necessity and cost of transformation T10.
+
+The paper's claim: without T10, no transformation in T1–T9/T11–T16
+applies to the q4 family, although every member is em-allowed (and even
+[Top91]-safe).  The experiment sweeps the family width ``n``, runs the
+translator with and without T10, and records outcome, T10 application
+counts, and translation times.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_table
+from repro.errors import TransformationStuckError
+from repro.safety import em_allowed
+from repro.translate.pipeline import translate_query
+from repro.workloads.families import t10_family_query
+from repro.workloads.gallery import GALLERY
+
+SIZES = [2, 3, 4, 5, 6]
+
+
+def _sweep() -> list[list]:
+    rows = []
+    for n in SIZES:
+        q = t10_family_query(n)
+        assert em_allowed(q.body)
+        start = time.perf_counter()
+        res = translate_query(q)
+        with_time = time.perf_counter() - start
+        try:
+            translate_query(q, enable_t10=False)
+            without = "translated (UNEXPECTED)"
+        except TransformationStuckError:
+            without = "stuck"
+        rows.append([
+            n, "translated", without,
+            res.trace.count("T10"), res.trace.count("T13"),
+            res.trace.count("T15"), res.trace.count("T16"),
+            res.plan_size, f"{with_time * 1e3:.1f} ms",
+        ])
+    return rows
+
+
+def test_e4_t10_necessity_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E4_t10",
+        "E4 — the q4 family: em-allowed, translatable only with T10",
+        ["n factors", "with T10", "without T10", "#T10", "#T13", "#T15",
+         "#T16", "plan ops", "translate time"],
+        rows,
+    )
+    assert all(row[2] == "stuck" for row in rows)
+    assert all(row[3] >= 1 for row in rows)
+    print(table)
+
+
+def test_e4_q4_translation_time(benchmark):
+    q = GALLERY["q4"].query
+    benchmark(lambda: translate_query(q))
+
+
+def test_e4_t10_never_fires_on_gt91_translatable_queries(benchmark, results_dir):
+    """Control: queries [GT91] handles never trigger the new rule."""
+    def run() -> list:
+        out = []
+        for key, entry in GALLERY.items():
+            if entry.translatable and not entry.needs_t10:
+                res = translate_query(entry.query)
+                if res.trace.count("T10"):
+                    out.append(key)
+        return out
+
+    fired = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_table(
+        results_dir, "E4_control",
+        "E4 — control: T10 applications on non-q4 gallery queries",
+        ["queries checked", "spurious T10 firings"],
+        [[sum(1 for e in GALLERY.values() if e.translatable and not e.needs_t10),
+          len(fired)]],
+    )
+    assert not fired

@@ -1,0 +1,149 @@
+"""E5 — reduced covers (Section 8): succinctness and analysis speed.
+
+The paper introduces reduced covers so the translation's FinD
+bookkeeping stays small.  The experiment compares ``bd`` (reduced
+covers throughout) against ``bd_naive`` (full closures throughout) on
+the gallery and on growing disjunctions — cover sizes and wall-clock
+times — and verifies the two remain logically equivalent.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_table
+from repro.core.formulas import Equals, RelAtom, make_and, make_or
+from repro.core.parser import parse_formula
+from repro.core.terms import Func, Var
+from repro.finds.closure import equivalent_covers
+from repro.finds.covers import cover_size
+from repro.safety.bd import bd, bd_naive, clear_bd_cache
+from repro.workloads.gallery import GALLERY
+
+
+def _wide_disjunction(width: int):
+    """(R(x1..xk) & chain of f-equalities) | ... — bd must intersect
+    closures over a growing variable set."""
+    disjuncts = []
+    for i in range(2):
+        conjuncts = [RelAtom("W", tuple(Var(f"x{j}") for j in range(width)))]
+        for j in range(width - 1):
+            conjuncts.append(
+                Equals(Func(f"f{i}", (Var(f"x{j}"),)), Var(f"x{j+1}"))
+            )
+        disjuncts.append(make_and(conjuncts))
+    return make_or(disjuncts)
+
+
+def _measure(formula) -> tuple[float, int, float, int]:
+    clear_bd_cache()
+    start = time.perf_counter()
+    reduced = bd(formula)
+    reduced_time = time.perf_counter() - start
+    start = time.perf_counter()
+    naive = bd_naive(formula)
+    naive_time = time.perf_counter() - start
+    assert equivalent_covers(reduced, naive)
+    return reduced_time, cover_size(reduced), naive_time, cover_size(naive)
+
+
+def test_e5_gallery_cover_sizes(benchmark, results_dir):
+    def run() -> list[list]:
+        rows = []
+        for key, entry in GALLERY.items():
+            rt, rs, nt, ns = _measure(entry.query.body)
+            rows.append([key, rs, ns, f"{ns / max(rs, 1):.1f}x",
+                         f"{rt*1e3:.2f} ms", f"{nt*1e3:.2f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E5_covers_gallery",
+        "E5 — reduced vs full-closure covers on the gallery (bd vs bd_naive)",
+        ["query", "reduced size", "closure size", "ratio",
+         "reduced time", "closure time"],
+        rows,
+    )
+    # reduced covers are never larger than the closures
+    assert all(row[1] <= row[2] for row in rows)
+    print(table)
+
+
+def test_e5_growth_with_variable_count(benchmark, results_dir):
+    def run() -> list[list]:
+        rows = []
+        for width in (2, 3, 4, 5, 6):
+            formula = _wide_disjunction(width)
+            rt, rs, nt, ns = _measure(formula)
+            rows.append([width, rs, ns,
+                         f"{rt*1e3:.2f} ms", f"{nt*1e3:.2f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E5_covers_growth",
+        "E5 — cover sizes as the variable count grows (chain disjunction)",
+        ["variables", "reduced size", "closure size", "reduced time",
+         "closure time"],
+        rows,
+    )
+    # the separation must widen: closures blow up, reduced covers stay linear-ish
+    first, last = rows[0], rows[-1]
+    assert last[2] / max(last[1], 1) > first[2] / max(first[1], 1)
+    print(table)
+
+
+def test_e5_bd_reduced_speed(benchmark):
+    body = GALLERY["q4"].query.body
+
+    def run():
+        clear_bd_cache()
+        return bd(body)
+
+    benchmark(run)
+
+
+def test_e5_bd_naive_speed(benchmark):
+    body = GALLERY["q4"].query.body
+    benchmark(lambda: bd_naive(body))
+
+
+def test_e5_conjunction_sorting_scaling(benchmark, results_dir):
+    """The paper: "each conjunction can be sorted in time linear in the
+    length of rbd(...)" via [BB79].  Measured: ordering time for
+    growing function-free join chains and constructive chains."""
+    import time as _time
+
+    from repro.core.formulas import And
+    from repro.translate.ranf import conjunction_order
+    from repro.workloads.families import chain_query, join_chain_query
+
+    def run() -> list[list]:
+        rows = []
+        for n in (2, 4, 8, 16, 24):
+            for label, maker in (("chain", chain_query),
+                                 ("join-chain", join_chain_query)):
+                q = maker(n).standardized()
+                body = q.body
+                from repro.core.formulas import Exists
+                while isinstance(body, Exists):
+                    body = body.body
+                conjuncts = list(body.children) if isinstance(body, And) \
+                    else [body]
+                clear_bd_cache()
+                start = _time.perf_counter()
+                order = conjunction_order(conjuncts)
+                elapsed = _time.perf_counter() - start
+                assert order is not None and len(order) == len(conjuncts)
+                rows.append([label, n, len(conjuncts),
+                             f"{elapsed*1e3:.2f} ms"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E5_sorting",
+        "E5 — [BB79] conjunction sorting over rbd covers",
+        ["family", "n", "conjuncts", "sort time"],
+        rows,
+    )
+    print(table)

@@ -1,0 +1,91 @@
+"""E7 — the Section 3 practical scenarios, end to end.
+
+Parse, safety-check, translate, and execute every payroll/parts query
+at several data scales, reporting plan sizes, answer sizes, and engine
+measurements — the "how scalar functions naturally arise in practical
+queries" demonstration.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+from repro.algebra.printer import to_algebra_text
+from repro.engine.executor import execute
+from repro.safety import em_allowed_query
+from repro.semantics.eval_calculus import evaluate_query
+from repro.translate.pipeline import translate_query
+from repro.workloads.practical import parts_scenario, payroll_scenario
+
+
+def _run_scenarios(scale: int) -> list[list]:
+    rows = []
+    for scenario in (payroll_scenario(), parts_scenario()):
+        inst = scenario.instance(scale=scale, seed=4)
+        for name, q in scenario.queries.items():
+            assert em_allowed_query(q)
+            res = translate_query(q, schema=scenario.schema)
+            report = execute(res.plan, inst, scenario.interpretation,
+                             schema=res.schema)
+            rows.append([
+                f"{scenario.name}.{name}", scale, len(report.result),
+                res.plan_size, report.intermediate_rows,
+                report.function_calls,
+                f"{report.elapsed_seconds*1e3:.1f} ms",
+            ])
+    return rows
+
+
+def test_e7_scenarios_small(benchmark, results_dir):
+    rows = benchmark.pedantic(lambda: _run_scenarios(20), rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E7_practical",
+        "E7 — Section 3 scenarios end-to-end (scale 20)",
+        ["query", "scale", "answers", "plan ops", "interm. rows",
+         "f() calls", "time"],
+        rows,
+    )
+    print(table)
+
+
+def test_e7_scenarios_match_reference(benchmark, results_dir):
+    rows = []
+    for scenario in (payroll_scenario(), parts_scenario()):
+        inst = scenario.instance(scale=8, seed=4)
+        for name, q in scenario.queries.items():
+            res = translate_query(q, schema=scenario.schema)
+            report = execute(res.plan, inst, scenario.interpretation,
+                             schema=res.schema)
+            want = evaluate_query(q, inst, scenario.interpretation)
+            rows.append([f"{scenario.name}.{name}",
+                         "MATCH" if report.result == want else "MISMATCH"])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_table(results_dir, "E7_reference",
+                "E7 — engine answers vs reference semantics",
+                ["query", "answers"], rows)
+    assert all(row[1] == "MATCH" for row in rows)
+
+
+def test_e7_plans_recorded(benchmark, results_dir):
+    rows = []
+    for scenario in (payroll_scenario(), parts_scenario()):
+        for name, q in scenario.queries.items():
+            res = translate_query(q, schema=scenario.schema)
+            plan = to_algebra_text(res.plan)
+            rows.append([f"{scenario.name}.{name}",
+                         plan if len(plan) <= 90 else plan[:87] + "..."])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_table(results_dir, "E7_plans",
+                "E7 — emitted plans for the practical scenarios",
+                ["query", "plan"], rows)
+
+
+def test_e7_payroll_pipeline(benchmark):
+    scenario = payroll_scenario()
+    inst = scenario.instance(scale=50, seed=4)
+    q = scenario.queries["safe_raises"]
+
+    def run():
+        res = translate_query(q, schema=scenario.schema)
+        return execute(res.plan, inst, scenario.interpretation, schema=res.schema)
+
+    benchmark(run)

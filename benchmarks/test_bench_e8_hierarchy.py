@@ -1,0 +1,98 @@
+"""E8 — the safety-criterion hierarchy.
+
+The paper's containment claims, measured over corpora:
+
+* function-free: em-allowed coincides with (or strictly relaxes only
+  through quantifier-boundary equalities) the [GT91] ``allowed`` class,
+  and contains it;
+* with functions: em-allowed strictly contains both [AB88]
+  range-restriction and [Top91] safety (witnesses: q3 and q5).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_table
+from repro.core.formulas import formula_function_names
+from repro.safety import allowed, em_allowed, range_restricted, safe_top91
+from repro.workloads.gallery import GALLERY
+from repro.workloads.random_queries import random_em_allowed_query
+
+
+def _corpus(n: int):
+    return [random_em_allowed_query(seed) for seed in range(n)]
+
+
+def _classify(corpus) -> dict[str, int]:
+    counts = {"total": 0, "em": 0, "allowed": 0, "safe": 0, "rr": 0,
+              "allowed_subset_em": True, "rr_subset_em": True,
+              "safe_subset_em": True}
+    for q in corpus:
+        body = q.body
+        counts["total"] += 1
+        em = em_allowed(body)
+        al = allowed(body)
+        try:
+            sf = safe_top91(body)
+        except ValueError:
+            sf = False
+        rr = range_restricted(body)
+        counts["em"] += em
+        counts["allowed"] += al
+        counts["safe"] += sf
+        counts["rr"] += rr
+        counts["allowed_subset_em"] &= (not al) or em
+        counts["rr_subset_em"] &= (not rr) or em
+        counts["safe_subset_em"] &= (not sf) or em
+    return counts
+
+
+def test_e8_hierarchy_counts(benchmark, results_dir):
+    def run():
+        corpus = _corpus(40)
+        with_funcs = [q for q in corpus if formula_function_names(q.body)]
+        func_free = [q for q in corpus if not formula_function_names(q.body)]
+        return _classify(with_funcs), _classify(func_free), len(corpus)
+
+    with_funcs, func_free, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["with functions", with_funcs["total"], with_funcs["em"],
+         with_funcs["allowed"], with_funcs["safe"], with_funcs["rr"]],
+        ["function-free", func_free["total"], func_free["em"],
+         func_free["allowed"], func_free["safe"], func_free["rr"]],
+    ]
+    table = write_table(
+        results_dir, "E8_hierarchy",
+        f"E8 — criterion counts over a random corpus of {total} queries",
+        ["slice", "queries", "em-allowed", "allowed[GT91]", "safe[Top91]",
+         "range-restr"],
+        rows,
+    )
+    # containments hold on every sampled query
+    for counts in (with_funcs, func_free):
+        assert counts["allowed_subset_em"]
+        assert counts["rr_subset_em"]
+        assert counts["safe_subset_em"]
+    # em-allowed strictly exceeds allowed on function-bearing queries
+    assert with_funcs["em"] > with_funcs["allowed"]
+    print(table)
+
+
+def test_e8_strictness_witnesses(benchmark, results_dir):
+    """The paper's named separation witnesses, re-verified."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    q3 = GALLERY["q3"].query.body
+    rows.append(["q3 separates em-allowed / range-restricted",
+                 em_allowed(q3), range_restricted(q3)])
+    q5 = GALLERY["q5"].query.body
+    rows.append(["q5 separates em-allowed / Top91-safe",
+                 em_allowed(q5), safe_top91(q5)])
+    table = write_table(
+        results_dir, "E8_witnesses",
+        "E8 — separation witnesses",
+        ["claim", "em-allowed", "weaker criterion"],
+        rows,
+    )
+    assert rows[0][1] and not rows[0][2]
+    assert rows[1][1] and not rows[1][2]
+    print(table)

@@ -1,0 +1,83 @@
+"""E9 — translation cost scaling.
+
+Translation time, plan size, and transformation-application counts as a
+function of formula size, over three parametric families: constructive
+chains (T16-heavy), alternating unions (T13-heavy), and join chains
+with a final difference (T15, function-free).  Demonstrates the
+practical claim behind reduced covers: the translator scales smoothly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_table
+from repro.core.formulas import formula_size
+from repro.safety.bd import clear_bd_cache
+from repro.translate.pipeline import translate_query
+from repro.workloads.families import chain_query, join_chain_query, union_query
+
+
+def _sweep(maker, sizes) -> list[list]:
+    rows = []
+    for n in sizes:
+        q = maker(n)
+        clear_bd_cache()
+        start = time.perf_counter()
+        res = translate_query(q)
+        elapsed = time.perf_counter() - start
+        counts = res.trace.counts()
+        interesting = {k: v for k, v in counts.items()
+                       if k.startswith("T") and v}
+        rows.append([
+            n, formula_size(q.body), res.plan_size,
+            f"{elapsed*1e3:.1f} ms",
+            ", ".join(f"{k}:{v}" for k, v in sorted(interesting.items())),
+        ])
+    return rows
+
+
+def test_e9_chain_family(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: _sweep(chain_query, (1, 2, 4, 8, 12)), rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E9_chain",
+        "E9 — constructive chains { x0, xn | R(x0) & f1(x0)=x1 & ... }",
+        ["n", "formula size", "plan ops", "translate time", "transformations"],
+        rows,
+    )
+    print(table)
+
+
+def test_e9_union_family(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: _sweep(union_query, (2, 4, 8, 12)), rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E9_union",
+        "E9 — alternating unions (q5 family scaled)",
+        ["n", "formula size", "plan ops", "translate time", "transformations"],
+        rows,
+    )
+    print(table)
+
+
+def test_e9_join_chain_family(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: _sweep(join_chain_query, (1, 2, 4, 8)), rounds=1, iterations=1)
+    table = write_table(
+        results_dir, "E9_join_chain",
+        "E9 — function-free join chains with a final difference",
+        ["n", "formula size", "plan ops", "translate time", "transformations"],
+        rows,
+    )
+    print(table)
+
+
+def test_e9_translate_chain8(benchmark):
+    q = chain_query(8)
+    benchmark(lambda: translate_query(q))
+
+
+def test_e9_translate_union8(benchmark):
+    q = union_query(8)
+    benchmark(lambda: translate_query(q))

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Beyond the core framework: the Section 9 / conclusion extensions.
+
+1. **External predicates** — comparisons in queries (`s > lo`),
+   compiled to selections.
+2. **Parameterized queries** — 'em-allowed for X': the host program
+   supplies parameter values at run time and can batch-bind many
+   parameter tuples against one translated plan.
+3. **Partial functions** — host functions that are undefined outside
+   their domain; atoms involving undefined applications are false.
+4. **Finiteness annotations** — the conclusion's own example
+   ``R(w) & u + v = w``: rejected by the paper's framework (no function
+   inverses), translated and executed once ``plus`` carries
+   [RBS87]/[Coh86]-style annotations with enumerators.
+
+Run:  python examples/beyond_the_paper.py
+"""
+
+from repro import Instance, Interpretation, evaluate, parse_query, to_algebra_text
+from repro.core.schema import DatabaseSchema
+from repro.data.interpretation import UNDEFINED
+from repro.errors import NotEmAllowedError
+from repro.finds.annotations import nonneg_sum_registry
+from repro.safety import em_allowed
+from repro.translate import (
+    bind_parameters,
+    parameterized_query,
+    translate_parameterized,
+    translate_query,
+)
+
+
+def external_predicates() -> None:
+    print("=== 1. external predicates (comparisons) ===")
+    q = parse_query("{ n, s | EMP(n, s) & s >= 2000 }")
+    res = translate_query(q)
+    print(f"calculus: {q}")
+    print(f"algebra:  {to_algebra_text(res.plan)}")
+    inst = Instance.of(EMP=[("ann", 1000), ("bob", 2000), ("cid", 3000)])
+    out = evaluate(res.plan, inst, Interpretation({}), schema=res.schema)
+    print(f"answer:   {sorted(out.rows)}\n")
+
+
+def parameterized() -> None:
+    print("=== 2. parameterized queries (em-allowed for X) ===")
+    schema = DatabaseSchema.of({"EMP": 2}, {})
+    pq = parameterized_query(["lo"], ["n"],
+                             "exists s (EMP(n, s) & s > lo)", schema)
+    result = translate_parameterized(pq, schema)
+    print(f"query:    {pq}")
+    print(f"plan:     {to_algebra_text(result.plan)}")
+    inst = Instance.of(EMP=[("ann", 1000), ("bob", 2000), ("cid", 3000)])
+    for batch in ([(1500,)], [(500,), (2500,)]):
+        plan = bind_parameters(result.plan, batch)
+        out = evaluate(plan, inst, Interpretation({}), schema=result.schema)
+        print(f"bind {batch}: {sorted(out.rows, key=repr)}")
+    print()
+
+
+def partial_functions() -> None:
+    print("=== 3. partial functions ===")
+
+    def isqrt(v):
+        if not isinstance(v, int) or v < 0:
+            return UNDEFINED
+        root = int(v ** 0.5)
+        return root if root * root == v else UNDEFINED
+
+    interp = Interpretation({"isqrt": isqrt})
+    inst = Instance.of(R=[(4,), (9,), (10,)])
+    q = parse_query("{ x, r | R(x) & isqrt(x) = r }")
+    res = translate_query(q)
+    out = evaluate(res.plan, inst, interp, schema=res.schema)
+    print(f"query:   {q}")
+    print(f"answer:  {sorted(out.rows)}  (10 has no integer root)")
+    q2 = parse_query("{ x | R(x) & ~S(isqrt(x)) }")
+    inst2 = inst.with_relation("S", Instance.of(S=[(2,)]).relation("S"))
+    res2 = translate_query(q2)
+    out2 = evaluate(res2.plan, inst2, interp, schema=res2.schema)
+    print(f"query:   {q2}")
+    print(f"answer:  {sorted(out2.rows)}  (undefined atom is false, its "
+          "negation true)\n")
+
+
+def annotations() -> None:
+    print("=== 4. finiteness annotations (the conclusion's u + v = w) ===")
+    q = parse_query("{ u, v, w | R(w) & plus(u, v) = w }")
+    print(f"query:    {q}")
+    print(f"em-allowed (paper framework):  {em_allowed(q.body)}")
+    try:
+        translate_query(q)
+    except NotEmAllowedError as err:
+        print(f"refused:  {err.reasons[0]}")
+    registry = nonneg_sum_registry()
+    print(f"em-allowed (with annotations): {em_allowed(q.body, annotations=registry)}")
+    res = translate_query(q, annotations=registry)
+    print(f"plan:     {to_algebra_text(res.plan)}")
+    interp = Interpretation(
+        {"plus": lambda u, v: u + v},
+        enumerators={
+            "plus_decompositions": lambda w: (
+                ((u, w - u) for u in range(w + 1))
+                if isinstance(w, int) and w >= 0 else ()
+            ),
+            "plus_second_arg": lambda w, u: (
+                ((w - u,),)
+                if isinstance(w, int) and isinstance(u, int) and w - u >= 0
+                else ()
+            ),
+        },
+    )
+    inst = Instance.of(R=[(3,)])
+    out = evaluate(res.plan, inst, interp, schema=res.schema)
+    print(f"answer:   {sorted(out.rows)}")
+
+
+def main() -> None:
+    external_predicates()
+    parameterized()
+    partial_functions()
+    annotations()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``check  'QUERY'``               — parse and classify under every safety
+  criterion, printing ``bd`` and the reasons for any refusal;
+* ``translate 'QUERY'``            — run the four-step translation and print
+  the ENF formula, the transformation trace, and the algebra plan;
+* ``run 'QUERY' --data FILE``      — translate and execute against a JSON
+  instance (see :mod:`repro.data.io`); scalar functions come from
+  ``--functions mod.py`` (a Python file defining ``FUNCTIONS = {...}``)
+  or default to a deterministic demo interpretation;
+* ``demo``                         — walk the paper's query gallery.
+
+The CLI is a thin veneer over the public API; everything it does is a
+few lines of library code (printed with ``--show-code``-free honesty in
+the examples/ directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+
+from repro.algebra.printer import explain, to_algebra_text
+from repro.core.parser import parse_query
+from repro.data.generators import standard_functions
+from repro.data.interpretation import Interpretation
+from repro.data.io import load_instance
+from repro.engine.executor import execute
+from repro.errors import NotEmAllowedError, ReproError
+from repro.finds.find import format_finds
+from repro.safety import (
+    allowed,
+    bd,
+    em_allowed_violations,
+    range_restricted,
+    safe_top91,
+)
+from repro.semantics.eval_calculus import query_schema
+from repro.translate.pipeline import translate_query
+
+__all__ = ["main"]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    body = query.body
+    print(f"query:            {query}")
+    print(f"bd(body):         {format_finds(bd(body))}")
+    problems = em_allowed_violations(body)
+    print(f"em-allowed:       {not problems}")
+    for problem in problems:
+        print(f"  - {problem}")
+    print(f"allowed [GT91]:   {allowed(body)}")
+    try:
+        print(f"safe [Top91]:     {safe_top91(body)}")
+    except ValueError as err:
+        print(f"safe [Top91]:     skipped ({err})")
+    print(f"range-restricted: {range_restricted(body)}")
+    return 0 if not problems else 1
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    try:
+        result = translate_query(query)
+    except NotEmAllowedError as err:
+        print(f"refused: {err}", file=sys.stderr)
+        return 1
+    print(f"query: {query}")
+    print(f"ENF:   {result.enf}")
+    if args.trace:
+        print("trace:")
+        for step in result.trace.steps:
+            print(f"  {step}")
+    else:
+        print(f"trace: {result.trace.counts()}")
+    print(f"plan:  {to_algebra_text(result.plan)}")
+    if args.explain:
+        print(explain(result.plan))
+    return 0
+
+
+def _load_functions(path: str | None, schema) -> Interpretation:
+    if path is None:
+        return standard_functions(schema)
+    namespace = runpy.run_path(path)
+    functions = namespace.get("FUNCTIONS")
+    if not isinstance(functions, dict):
+        raise ReproError(
+            f"{path} must define FUNCTIONS = {{name: callable, ...}}")
+    return Interpretation(functions, name=path)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    instance = load_instance(args.data)
+    result = translate_query(query)
+    interp = _load_functions(args.functions, result.schema)
+    report = execute(result.plan, instance, interp, schema=result.schema)
+    print(f"plan:   {to_algebra_text(result.plan)}")
+    print(f"stats:  {report.summary()}")
+    for row in sorted(report.result.rows, key=repr)[:args.limit]:
+        print("  " + "\t".join(str(v) for v in row))
+    if len(report.result) > args.limit:
+        print(f"  ... ({len(report.result)} rows total)")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.workloads.gallery import GALLERY
+    print("The paper's query gallery (see examples/safety_lab.py for the "
+          "full walkthrough):\n")
+    for key, entry in GALLERY.items():
+        print(f"{key:>14}: {entry.text}")
+        print(f"{'':>14}  {entry.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Safety and translation of calculus queries with "
+                    "scalar functions (PODS 1993 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="classify a query under the safety criteria")
+    check.add_argument("query", help="e.g. \"{ x | R(x) & exists y (f(x) = y & ~R(y)) }\"")
+    check.set_defaults(fn=_cmd_check)
+
+    translate = sub.add_parser("translate", help="translate a query to the algebra")
+    translate.add_argument("query")
+    translate.add_argument("--trace", action="store_true",
+                           help="print every transformation application")
+    translate.add_argument("--explain", action="store_true",
+                           help="print the operator tree")
+    translate.set_defaults(fn=_cmd_translate)
+
+    run = sub.add_parser("run", help="translate and execute against a JSON instance")
+    run.add_argument("query")
+    run.add_argument("--data", required=True, help="instance JSON file")
+    run.add_argument("--functions",
+                     help="Python file defining FUNCTIONS = {name: callable}")
+    run.add_argument("--limit", type=int, default=20, help="max rows to print")
+    run.set_defaults(fn=_cmd_run)
+
+    demo = sub.add_parser("demo", help="list the paper's query gallery")
+    demo.set_defaults(fn=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Core syntax of the relational calculus with scalar functions.
+
+Submodules:
+
+* :mod:`repro.core.terms` — variables, constants, function applications;
+* :mod:`repro.core.formulas` — atoms, connectives, quantifiers;
+* :mod:`repro.core.queries` — ``{ head | body }`` queries;
+* :mod:`repro.core.schema` — relation/function declarations and validation;
+* :mod:`repro.core.parser` / :mod:`repro.core.printer` — concrete syntax;
+* :mod:`repro.core.builders` — operator-overloading DSL for host-language embedding.
+"""
+
+from repro.core.builders import (
+    const,
+    exists,
+    forall,
+    func,
+    funcs,
+    query,
+    rel,
+    rels,
+    var,
+    variables,
+)
+from repro.core.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    free_variables,
+    make_and,
+    make_exists,
+    make_forall,
+    make_or,
+    not_equals,
+    standardize_apart,
+    subformulas,
+)
+from repro.core.parser import parse_formula, parse_query, parse_term
+from repro.core.printer import to_sexpr, to_text
+from repro.core.queries import CalculusQuery
+from repro.core.schema import DatabaseSchema, FunctionSignature, RelationSchema
+from repro.core.terms import Const, Func, Term, Var
+
+__all__ = [
+    # terms
+    "Term", "Var", "Const", "Func",
+    # formulas
+    "Formula", "Atom", "RelAtom", "Equals", "Not", "And", "Or",
+    "Exists", "Forall", "not_equals",
+    "make_and", "make_or", "make_exists", "make_forall",
+    "free_variables", "subformulas", "standardize_apart",
+    # queries
+    "CalculusQuery",
+    # schema
+    "DatabaseSchema", "RelationSchema", "FunctionSignature",
+    # concrete syntax
+    "parse_query", "parse_formula", "parse_term", "to_text", "to_sexpr",
+    # DSL
+    "var", "variables", "const", "rel", "rels", "func", "funcs",
+    "exists", "forall", "query",
+]

@@ -1,0 +1,227 @@
+"""Ergonomic construction of calculus queries from host-language code.
+
+The paper's setting is a calculus *embedded in an imperative programming
+language*; this module is the embedding.  It provides small callable
+factories so that queries read close to the paper's notation::
+
+    R, S = rels("R", "S")
+    f, g = funcs("f", "g")
+    x, y = variables("x y")
+
+    q5 = query(["x", "y"], (R(x) & (f(x) == y)) | (S(y) & (g(y) == x)))
+
+Operator overloading is provided by lightweight wrapper classes:
+``&`` builds conjunctions, ``|`` disjunctions, ``~`` negations, and
+``==`` / ``!=`` on wrapped terms build (in)equality atoms.  ``.f`` on the
+wrappers unwraps to the plain AST used by the rest of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.formulas import (
+    Compare,
+    Equals,
+    Formula,
+    Not,
+    RelAtom,
+    make_and,
+    make_exists,
+    make_forall,
+    make_or,
+)
+from repro.core.queries import CalculusQuery
+from repro.core.queries import query as _plain_query
+from repro.core.terms import Const, Func, Term, Var
+
+__all__ = [
+    "TermExpr",
+    "FormulaExpr",
+    "var",
+    "variables",
+    "const",
+    "rel",
+    "rels",
+    "func",
+    "funcs",
+    "exists",
+    "forall",
+    "query",
+    "unwrap_formula",
+    "unwrap_term",
+]
+
+
+class TermExpr:
+    """A term wrapper supporting ``==`` / ``!=`` to build equality atoms."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: Term):
+        self.term = term
+
+    def __eq__(self, other) -> "FormulaExpr":  # type: ignore[override]
+        return FormulaExpr(Equals(self.term, unwrap_term(other)))
+
+    def __ne__(self, other) -> "FormulaExpr":  # type: ignore[override]
+        return FormulaExpr(Not(Equals(self.term, unwrap_term(other))))
+
+    def __lt__(self, other) -> "FormulaExpr":
+        return FormulaExpr(Compare("<", self.term, unwrap_term(other)))
+
+    def __le__(self, other) -> "FormulaExpr":
+        return FormulaExpr(Compare("<=", self.term, unwrap_term(other)))
+
+    def __gt__(self, other) -> "FormulaExpr":
+        return FormulaExpr(Compare(">", self.term, unwrap_term(other)))
+
+    def __ge__(self, other) -> "FormulaExpr":
+        return FormulaExpr(Compare(">=", self.term, unwrap_term(other)))
+
+    def __hash__(self) -> int:
+        return hash(self.term)
+
+    def __repr__(self) -> str:
+        return f"TermExpr({self.term})"
+
+
+class FormulaExpr:
+    """A formula wrapper supporting ``&``, ``|`` and ``~``."""
+
+    __slots__ = ("f",)
+
+    def __init__(self, formula: Formula):
+        self.f = formula
+
+    def __and__(self, other) -> "FormulaExpr":
+        return FormulaExpr(make_and([self.f, unwrap_formula(other)]))
+
+    def __or__(self, other) -> "FormulaExpr":
+        return FormulaExpr(make_or([self.f, unwrap_formula(other)]))
+
+    def __invert__(self) -> "FormulaExpr":
+        return FormulaExpr(Not(self.f))
+
+    def __repr__(self) -> str:
+        return f"FormulaExpr({self.f})"
+
+
+def unwrap_term(value) -> Term:
+    """Coerce a wrapper, Term, or plain Python value into a Term."""
+    if isinstance(value, TermExpr):
+        return value.term
+    if isinstance(value, Term):
+        return value
+    return Const(value)
+
+
+def unwrap_formula(value) -> Formula:
+    """Coerce a wrapper or Formula into a Formula."""
+    if isinstance(value, FormulaExpr):
+        return value.f
+    if isinstance(value, Formula):
+        return value
+    raise TypeError(f"expected a formula, got {value!r}")
+
+
+def var(name: str) -> TermExpr:
+    """A single variable wrapper."""
+    return TermExpr(Var(name))
+
+
+def variables(names: str | Iterable[str]) -> tuple[TermExpr, ...]:
+    """Several variables at once: ``x, y = variables("x y")``."""
+    if isinstance(names, str):
+        names = names.split()
+    return tuple(TermExpr(Var(n)) for n in names)
+
+
+def const(value) -> TermExpr:
+    """A constant wrapper."""
+    return TermExpr(Const(value))
+
+
+class _RelFactory:
+    """Callable producing relation atoms: ``R(x, y)``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __call__(self, *args) -> FormulaExpr:
+        return FormulaExpr(RelAtom(self.name, tuple(unwrap_term(a) for a in args)))
+
+    def __repr__(self) -> str:
+        return f"rel({self.name!r})"
+
+
+class _FuncFactory:
+    """Callable producing function terms: ``f(x)``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __call__(self, *args) -> TermExpr:
+        return TermExpr(Func(self.name, tuple(unwrap_term(a) for a in args)))
+
+    def __repr__(self) -> str:
+        return f"func({self.name!r})"
+
+
+def rel(name: str) -> _RelFactory:
+    """A relation-atom factory for relation ``name``."""
+    return _RelFactory(name)
+
+
+def rels(*names: str) -> tuple[_RelFactory, ...]:
+    """Several relation factories: ``R, S = rels("R", "S")``."""
+    return tuple(_RelFactory(n) for n in names)
+
+
+def func(name: str) -> _FuncFactory:
+    """A function-term factory for scalar function ``name``."""
+    return _FuncFactory(name)
+
+
+def funcs(*names: str) -> tuple[_FuncFactory, ...]:
+    """Several function factories: ``f, g = funcs("f", "g")``."""
+    return tuple(_FuncFactory(n) for n in names)
+
+
+def _var_names(vs) -> list[str]:
+    names: list[str] = []
+    for v in (vs if isinstance(vs, (list, tuple)) else [vs]):
+        if isinstance(v, str):
+            names.extend(v.split())
+        elif isinstance(v, TermExpr) and isinstance(v.term, Var):
+            names.append(v.term.name)
+        elif isinstance(v, Var):
+            names.append(v.name)
+        else:
+            raise TypeError(f"not a variable: {v!r}")
+    return names
+
+
+def exists(vs, body) -> FormulaExpr:
+    """``exists(x, R(x) & ...)`` or ``exists("x y", ...)``."""
+    return FormulaExpr(make_exists(_var_names(vs), unwrap_formula(body)))
+
+
+def forall(vs, body) -> FormulaExpr:
+    """``forall(x, ...)`` or ``forall("x y", ...)``."""
+    return FormulaExpr(make_forall(_var_names(vs), unwrap_formula(body)))
+
+
+def query(head, body) -> CalculusQuery:
+    """Build a :class:`CalculusQuery` accepting wrappers in head and body."""
+    plain_head = []
+    for entry in (head if isinstance(head, (list, tuple)) else [head]):
+        if isinstance(entry, TermExpr):
+            plain_head.append(entry.term)
+        else:
+            plain_head.append(entry)
+    return _plain_query(plain_head, unwrap_formula(body))

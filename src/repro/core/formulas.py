@@ -1,0 +1,591 @@
+"""Formulas of the relational calculus with scalar functions.
+
+The formula language (Section 4 of the paper):
+
+* atoms ``R(t1, ..., tn)`` over finite database relations,
+* equality atoms ``t1 = t2`` between terms,
+* negation, n-ary conjunction and disjunction,
+* multi-variable existential and universal quantifiers.
+
+Following the paper (difference (b) with respect to [GT91]) an
+*inequality* ``t1 != t2`` is not a separate atom: it is represented as
+``Not(Equals(t1, t2))`` and is classified as a *negative* formula, since
+it never contributes bounding information.
+
+Formulas are immutable, hashable, and compared structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.core.terms import (
+    Const,
+    Term,
+    Var,
+    function_depth,
+    function_names as term_function_names,
+    substitute_term,
+    variables as term_variables,
+    walk_term,
+)
+from repro.errors import FormulaError
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "RelAtom",
+    "Equals",
+    "Compare",
+    "Not",
+    "And",
+    "Or",
+    "Exists",
+    "Forall",
+    "not_equals",
+    "is_inequality",
+    "is_equality",
+    "is_atomic",
+    "free_variables",
+    "all_variables",
+    "bound_variables",
+    "subformulas",
+    "formula_size",
+    "formula_function_depth",
+    "relation_names",
+    "formula_function_names",
+    "formula_constants",
+    "substitute",
+    "rename_bound",
+    "standardize_apart",
+    "conjuncts",
+    "disjuncts",
+    "make_and",
+    "make_or",
+    "make_exists",
+    "make_forall",
+]
+
+
+class Formula:
+    """Abstract base class for calculus formulas."""
+
+    __slots__ = ()
+
+
+class Atom(Formula):
+    """Abstract base class for atomic formulas (relation and equality atoms)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class RelAtom(Atom):
+    """``R(t1, ..., tn)`` — membership in the finite database relation R."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FormulaError("relation atom needs a relation name")
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+        for t in self.terms:
+            if not isinstance(t, Term):
+                raise FormulaError(f"relation atom argument must be a Term, got {t!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class Equals(Atom):
+    """``t1 = t2`` — equality of two terms.
+
+    Equality atoms are *positive* in this paper's classification because
+    they may carry bounding information (e.g. ``f(x) = y`` bounds ``y``
+    once ``x`` is bounded), unlike in [GT91] where the distinction is
+    purely technical.
+    """
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.left, Term) or not isinstance(self.right, Term):
+            raise FormulaError("both sides of '=' must be terms")
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Compare(Atom):
+    """``t1 < t2`` (and ``<=``, ``>``, ``>=``) — an externally defined
+    arithmetic predicate (Section 9(d) of the paper).
+
+    Comparison atoms give **no bounding information** ("analogous to
+    atoms t1 = t2 where t1, t2 are not variables"): ``bd`` assigns them
+    the empty FinD set, so every variable they mention must be bounded
+    elsewhere before the atom can be evaluated (the compiler turns them
+    into selections).  The ordering semantics come from the host
+    language at evaluation time (Python ``<`` etc.).
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    _OPS = ("<", "<=", ">", ">=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise FormulaError(f"comparison operator must be one of {self._OPS}")
+        if not isinstance(self.left, Term) or not isinstance(self.right, Term):
+            raise FormulaError("both sides of a comparison must be terms")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    """Negation.  ``Not(Equals(...))`` doubles as the inequality atom."""
+
+    child: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.child, Formula):
+            raise FormulaError(f"negation child must be a formula, got {self.child!r}")
+
+    def __str__(self) -> str:
+        if isinstance(self.child, Equals):
+            return f"{self.child.left} != {self.child.right}"
+        return f"~({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    """N-ary conjunction (n >= 2)."""
+
+    children: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.children, tuple):
+            object.__setattr__(self, "children", tuple(self.children))
+        if len(self.children) < 2:
+            raise FormulaError("conjunction needs at least two children; use make_and")
+        for c in self.children:
+            if not isinstance(c, Formula):
+                raise FormulaError(f"conjunct must be a formula, got {c!r}")
+
+    def __str__(self) -> str:
+        return " & ".join(_paren(c) for c in self.children)
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    """N-ary disjunction (n >= 2)."""
+
+    children: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.children, tuple):
+            object.__setattr__(self, "children", tuple(self.children))
+        if len(self.children) < 2:
+            raise FormulaError("disjunction needs at least two children; use make_or")
+        for c in self.children:
+            if not isinstance(c, Formula):
+                raise FormulaError(f"disjunct must be a formula, got {c!r}")
+
+    def __str__(self) -> str:
+        return " | ".join(_paren(c) for c in self.children)
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    """``exists x1 ... xn (body)`` — multi-variable existential quantifier."""
+
+    vars: tuple[str, ...]
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.vars, tuple):
+            object.__setattr__(self, "vars", tuple(self.vars))
+        if not self.vars:
+            raise FormulaError("existential quantifier must bind at least one variable")
+        if len(set(self.vars)) != len(self.vars):
+            raise FormulaError(f"duplicate quantified variable in {self.vars}")
+        if not isinstance(self.body, Formula):
+            raise FormulaError("quantifier body must be a formula")
+
+    def __str__(self) -> str:
+        return f"exists {' '.join(self.vars)} ({self.body})"
+
+
+@dataclass(frozen=True, slots=True)
+class Forall(Formula):
+    """``forall x1 ... xn (body)`` — multi-variable universal quantifier."""
+
+    vars: tuple[str, ...]
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.vars, tuple):
+            object.__setattr__(self, "vars", tuple(self.vars))
+        if not self.vars:
+            raise FormulaError("universal quantifier must bind at least one variable")
+        if len(set(self.vars)) != len(self.vars):
+            raise FormulaError(f"duplicate quantified variable in {self.vars}")
+        if not isinstance(self.body, Formula):
+            raise FormulaError("quantifier body must be a formula")
+
+    def __str__(self) -> str:
+        return f"forall {' '.join(self.vars)} ({self.body})"
+
+
+def _paren(formula: Formula) -> str:
+    """Parenthesize non-atomic children for unambiguous printing."""
+    if isinstance(formula, (Atom, Not)):
+        return str(formula)
+    return f"({formula})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def not_equals(left: Term, right: Term) -> Not:
+    """Build the inequality atom ``left != right`` (sugar for Not(Equals))."""
+    return Not(Equals(left, right))
+
+
+def is_equality(formula: Formula) -> bool:
+    """True for ``t1 = t2`` atoms."""
+    return isinstance(formula, Equals)
+
+
+def is_inequality(formula: Formula) -> bool:
+    """True for ``t1 != t2``, i.e. ``Not(Equals(...))``."""
+    return isinstance(formula, Not) and isinstance(formula.child, Equals)
+
+
+def is_atomic(formula: Formula) -> bool:
+    """True for relation and equality atoms (not for inequalities)."""
+    return isinstance(formula, Atom)
+
+
+def make_and(children: Iterable[Formula]) -> Formula:
+    """Conjunction of arbitrarily many formulas, flattening nested Ands.
+
+    Returns the single child unchanged for a singleton and raises for an
+    empty iterable (the calculus has no 'true' constant; callers model it
+    explicitly where needed).
+    """
+    flat: list[Formula] = []
+    for child in children:
+        if isinstance(child, And):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        raise FormulaError("empty conjunction")
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def make_or(children: Iterable[Formula]) -> Formula:
+    """Disjunction of arbitrarily many formulas, flattening nested Ors."""
+    flat: list[Formula] = []
+    for child in children:
+        if isinstance(child, Or):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        raise FormulaError("empty disjunction")
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def make_exists(vars: Iterable[str], body: Formula) -> Formula:
+    """Existential closure over ``vars``; collapses ``exists x (exists y ...)``.
+
+    Variables not free in ``body`` are dropped (transformation T6 of the
+    simplifier does the same during translation); if no variable remains,
+    ``body`` is returned unquantified.
+    """
+    names = [v for v in vars if v in free_variables(body)]
+    if not names:
+        return body
+    if isinstance(body, Exists):
+        merged = tuple(dict.fromkeys(tuple(names) + body.vars))
+        return Exists(merged, body.body)
+    return Exists(tuple(dict.fromkeys(names)), body)
+
+
+def make_forall(vars: Iterable[str], body: Formula) -> Formula:
+    """Universal closure over ``vars``, dropping vacuous variables."""
+    names = [v for v in vars if v in free_variables(body)]
+    if not names:
+        return body
+    if isinstance(body, Forall):
+        merged = tuple(dict.fromkeys(tuple(names) + body.vars))
+        return Forall(merged, body.body)
+    return Forall(tuple(dict.fromkeys(names)), body)
+
+
+# ---------------------------------------------------------------------------
+# Structural queries
+# ---------------------------------------------------------------------------
+
+def _atom_terms(formula: Atom) -> tuple[Term, ...]:
+    if isinstance(formula, RelAtom):
+        return formula.terms
+    if isinstance(formula, (Equals, Compare)):
+        return (formula.left, formula.right)
+    raise TypeError(f"unknown atom type: {formula!r}")
+
+
+def free_variables(formula: Formula) -> frozenset[str]:
+    """The free variables of ``formula``."""
+    if isinstance(formula, Atom):
+        names: set[str] = set()
+        for t in _atom_terms(formula):
+            names |= term_variables(t)
+        return frozenset(names)
+    if isinstance(formula, Not):
+        return free_variables(formula.child)
+    if isinstance(formula, (And, Or)):
+        names = set()
+        for c in formula.children:
+            names |= free_variables(c)
+        return frozenset(names)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.body) - set(formula.vars)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def all_variables(formula: Formula) -> frozenset[str]:
+    """Free and bound variable names occurring anywhere in ``formula``."""
+    if isinstance(formula, Atom):
+        return free_variables(formula)
+    if isinstance(formula, Not):
+        return all_variables(formula.child)
+    if isinstance(formula, (And, Or)):
+        names: set[str] = set()
+        for c in formula.children:
+            names |= all_variables(c)
+        return frozenset(names)
+    if isinstance(formula, (Exists, Forall)):
+        return all_variables(formula.body) | set(formula.vars)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def bound_variables(formula: Formula) -> frozenset[str]:
+    """Names bound by some quantifier within ``formula``."""
+    out: set[str] = set()
+    for sub in subformulas(formula):
+        if isinstance(sub, (Exists, Forall)):
+            out |= set(sub.vars)
+    return frozenset(out)
+
+
+def subformulas(formula: Formula) -> Iterator[Formula]:
+    """Yield ``formula`` and every subformula, pre-order."""
+    stack = [formula]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Not):
+            stack.append(current.child)
+        elif isinstance(current, (And, Or)):
+            stack.extend(reversed(current.children))
+        elif isinstance(current, (Exists, Forall)):
+            stack.append(current.body)
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of formula nodes (atoms, connectives, quantifiers)."""
+    return sum(1 for _ in subformulas(formula))
+
+
+def formula_function_depth(formula: Formula) -> int:
+    """Maximum function-nesting depth over all terms in ``formula``.
+
+    This is the paper's ``||phi||`` measure: Theorem 6.6 bounds the
+    embedded-domain-independence level of an em-allowed formula by a
+    function of it.
+    """
+    best = 0
+    for sub in subformulas(formula):
+        if isinstance(sub, Atom):
+            for t in _atom_terms(sub):
+                best = max(best, function_depth(t))
+    return best
+
+
+def relation_names(formula: Formula) -> frozenset[str]:
+    """Database relation names mentioned in ``formula``."""
+    return frozenset(
+        sub.name for sub in subformulas(formula) if isinstance(sub, RelAtom)
+    )
+
+
+def formula_function_names(formula: Formula) -> frozenset[str]:
+    """Scalar function names mentioned in ``formula``."""
+    names: set[str] = set()
+    for sub in subformulas(formula):
+        if isinstance(sub, Atom):
+            for t in _atom_terms(sub):
+                names |= term_function_names(t)
+    return frozenset(names)
+
+
+def formula_constants(formula: Formula) -> frozenset:
+    """All constant values mentioned in ``formula`` (the query part of adom)."""
+    values: set = set()
+    for sub in subformulas(formula):
+        if isinstance(sub, Atom):
+            for t in _atom_terms(sub):
+                for node in walk_term(t):
+                    if isinstance(node, Const):
+                        values.add(node.value)
+    return frozenset(values)
+
+
+# ---------------------------------------------------------------------------
+# Substitution and renaming
+# ---------------------------------------------------------------------------
+
+def substitute(formula: Formula, mapping: dict[str, Term]) -> Formula:
+    """Capture-avoiding substitution of terms for free variables.
+
+    Bound variables clashing with the *variables of the substituted
+    terms* are renamed to fresh names before descending, so the result
+    never captures.
+    """
+    if not mapping:
+        return formula
+    if isinstance(formula, RelAtom):
+        return RelAtom(formula.name, tuple(substitute_term(t, mapping) for t in formula.terms))
+    if isinstance(formula, Equals):
+        return Equals(substitute_term(formula.left, mapping), substitute_term(formula.right, mapping))
+    if isinstance(formula, Compare):
+        return Compare(formula.op, substitute_term(formula.left, mapping),
+                       substitute_term(formula.right, mapping))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.child, mapping))
+    if isinstance(formula, And):
+        return And(tuple(substitute(c, mapping) for c in formula.children))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute(c, mapping) for c in formula.children))
+    if isinstance(formula, (Exists, Forall)):
+        # Restrict mapping to variables still free under the binder.
+        inner = {k: v for k, v in mapping.items() if k not in formula.vars}
+        if not inner:
+            return formula
+        # Rename bound variables that would capture incoming terms.
+        incoming: set[str] = set()
+        for t in inner.values():
+            incoming |= term_variables(t)
+        clashes = [v for v in formula.vars if v in incoming]
+        body = formula.body
+        new_vars = list(formula.vars)
+        if clashes:
+            taken = incoming | all_variables(formula.body) | set(inner)
+            rename: dict[str, Term] = {}
+            for v in clashes:
+                fresh = _fresh_name(v, taken)
+                taken.add(fresh)
+                rename[v] = Var(fresh)
+                new_vars[new_vars.index(v)] = fresh
+            body = substitute(body, rename)
+        body = substitute(body, inner)
+        ctor = Exists if isinstance(formula, Exists) else Forall
+        return ctor(tuple(new_vars), body)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _fresh_name(base: str, taken: set[str]) -> str:
+    """A variable name derived from ``base`` not present in ``taken``."""
+    root = base.rstrip("0123456789_") or "v"
+    i = 1
+    while True:
+        candidate = f"{root}_{i}"
+        if candidate not in taken:
+            return candidate
+        i += 1
+
+
+def rename_bound(formula: Formula, taken: set[str],
+                 fresh: Callable[[str], str] | None = None) -> Formula:
+    """Rename every bound variable so that none occurs in ``taken``
+    and no two quantifiers bind the same name.
+
+    ``taken`` is updated in place with every name the output uses, so a
+    caller can thread one set through several formulas to standardize
+    them apart collectively.
+    """
+    if fresh is None:
+        def fresh(base: str) -> str:
+            return _fresh_name(base, taken)
+
+    def go(f: Formula) -> Formula:
+        if isinstance(f, Atom):
+            return f
+        if isinstance(f, Not):
+            return Not(go(f.child))
+        if isinstance(f, And):
+            return And(tuple(go(c) for c in f.children))
+        if isinstance(f, Or):
+            return Or(tuple(go(c) for c in f.children))
+        if isinstance(f, (Exists, Forall)):
+            mapping: dict[str, Term] = {}
+            new_vars = []
+            for v in f.vars:
+                if v in taken:
+                    new = fresh(v)
+                    mapping[v] = Var(new)
+                else:
+                    new = v
+                taken.add(new)
+                new_vars.append(new)
+            body = substitute(f.body, mapping) if mapping else f.body
+            ctor = Exists if isinstance(f, Exists) else Forall
+            return ctor(tuple(new_vars), go(body))
+        raise TypeError(f"not a formula: {f!r}")
+
+    return go(formula)
+
+
+def standardize_apart(formula: Formula) -> Formula:
+    """Rename bound variables so all quantifiers bind distinct names,
+    disjoint from the free variables — the precondition of the
+    translation pipeline (Section 7, step 0).
+    """
+    taken = set(free_variables(formula))
+    return rename_bound(formula, taken)
+
+
+def conjuncts(formula: Formula) -> tuple[Formula, ...]:
+    """Children if a conjunction, else the singleton ``(formula,)``."""
+    if isinstance(formula, And):
+        return formula.children
+    return (formula,)
+
+
+def disjuncts(formula: Formula) -> tuple[Formula, ...]:
+    """Children if a disjunction, else the singleton ``(formula,)``."""
+    if isinstance(formula, Or):
+        return formula.children
+    return (formula,)

@@ -1,0 +1,356 @@
+"""Textual syntax for calculus queries with scalar functions.
+
+Grammar (ASCII, with unicode aliases accepted)::
+
+    query      := '{' head '|' formula '}'
+    head       := term (',' term)*
+    formula    := disjunction
+    disjunction:= conjunction ('|' conjunction)*        (also '∨', 'or')
+    conjunction:= unary ('&' unary)*                    (also '∧', 'and')
+    unary      := '~' unary                             (also '¬', 'not')
+                | ('exists'|'∃') names unary
+                | ('forall'|'∀') names unary
+                | '(' formula ')'
+                | atom
+    atom       := term (('='|'!='|'≠') term)?
+    term       := NAME '(' term (',' term)* ')'         (function or relation)
+                | NAME | NUMBER | STRING
+
+Name resolution: an applied name followed by no comparison is a
+*relation atom* and an applied name inside a term position is a *scalar
+function*.  When a :class:`~repro.core.schema.DatabaseSchema` is given
+it decides; without a schema the conventional rule applies — names with
+an upper-case initial are relations, lower-case are functions.
+
+Inside ``{...|...}`` the bar separating head from body is the *first*
+top-level ``|``; to keep the grammar unambiguous the head may not
+contain bare ``|`` (it never needs to: heads are terms).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.formulas import (
+    Compare,
+    Equals,
+    Formula,
+    Not,
+    RelAtom,
+    make_and,
+    make_exists,
+    make_forall,
+    make_or,
+)
+from repro.core.queries import CalculusQuery
+from repro.core.schema import DatabaseSchema
+from repro.core.terms import Const, Func, Term, Var
+from repro.errors import ParseError
+
+__all__ = ["parse_query", "parse_formula", "parse_term"]
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|<|>|!=|≠|=|,|\(|\)|\{|\}|\||∨|&|∧|~|¬|∃|∀)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "and", "or", "not"}
+_OP_ALIASES = {"∨": "|", "∧": "&", "¬": "~", "≠": "!=", "∃": "exists", "∀": "forall"}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # 'number' | 'string' | 'name' | 'op' | 'kw' | 'eof'
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos, text)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "op" and value in _OP_ALIASES:
+                alias = _OP_ALIASES[value]
+                if alias in ("exists", "forall"):
+                    tokens.append(_Token("kw", alias, pos))
+                else:
+                    tokens.append(_Token("op", alias, pos))
+            elif kind == "name" and value in _KEYWORDS:
+                canonical = {"and": "&", "or": "|", "not": "~"}.get(value)
+                if canonical:
+                    tokens.append(_Token("op", canonical, pos))
+                else:
+                    tokens.append(_Token("kw", value, pos))
+            else:
+                tokens.append(_Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str, schema: DatabaseSchema | None = None):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.schema = schema
+
+    # -- token utilities ------------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> _Token:
+        token = self.current
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}, found {token.value!r}",
+                             token.position, self.text)
+        return self.advance()
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        token = self.current
+        if token.kind == kind and (value is None or token.value == value):
+            self.advance()
+            return True
+        return False
+
+    # -- name resolution --------------------------------------------------------
+
+    def _is_relation_name(self, name: str) -> bool:
+        if self.schema is not None:
+            if self.schema.has_relation(name):
+                return True
+            if self.schema.has_function(name):
+                return False
+        return name[0].isupper()
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> CalculusQuery:
+        self.expect("op", "{")
+        head = [self.parse_term()]
+        while self.accept("op", ","):
+            head.append(self.parse_term())
+        self.expect("op", "|")
+        body = self.parse_formula()
+        self.expect("op", "}")
+        self.expect("eof")
+        return CalculusQuery(tuple(head), body)
+
+    def parse_formula(self) -> Formula:
+        return self._disjunction()
+
+    def _disjunction(self) -> Formula:
+        children = [self._conjunction()]
+        while True:
+            # A '|' directly before '}' is not a connective (it cannot be —
+            # formulas never end at '|'), but the query grammar consumes the
+            # separating bar before calling us, so any '|' here is a connective.
+            if self.current.kind == "op" and self.current.value == "|":
+                self.advance()
+                children.append(self._conjunction())
+            else:
+                break
+        return make_or(children) if len(children) > 1 else children[0]
+
+    def _conjunction(self) -> Formula:
+        children = [self._unary()]
+        while self.accept("op", "&"):
+            children.append(self._unary())
+        return make_and(children) if len(children) > 1 else children[0]
+
+    def _unary(self) -> Formula:
+        token = self.current
+        if token.kind == "op" and token.value == "~":
+            self.advance()
+            return Not(self._unary())
+        if token.kind == "kw" and token.value in ("exists", "forall"):
+            self.advance()
+            names = [self.expect("name").value]
+            # The variable list continues over names; a name that is
+            # *applied* (followed by '(') and relation-like starts the
+            # body instead (e.g. "exists y R2(x, y)").  Bodies that
+            # start with a function term must be parenthesized:
+            # "exists y (f(x) = y)".
+            while self.current.kind == "name" and not (
+                self._peek_is_applied()
+                and self._is_relation_name(self.current.value)
+            ):
+                names.append(self.advance().value)
+            body = self._unary()
+            maker = make_exists if token.value == "exists" else make_forall
+            out = maker(names, body)
+            if not isinstance(out, Formula):  # pragma: no cover - maker guarantees
+                raise ParseError("invalid quantification", token.position, self.text)
+            return out
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            inner = self.parse_formula()
+            self.expect("op", ")")
+            # a parenthesized formula may still be the left side of '='
+            # only when it is actually a term — formulas and terms do not
+            # overlap syntactically here, so no backtracking is needed.
+            return inner
+        return self._atom()
+
+    def _peek_is_applied(self) -> bool:
+        """True when the current name token is followed by '(' — it then
+        starts an atom/term, not another quantified variable."""
+        nxt = self.tokens[self.index + 1]
+        return nxt.kind == "op" and nxt.value == "("
+
+    def _atom(self) -> Formula:
+        start = self.current
+        term = self.parse_term()
+        if self.accept("op", "="):
+            right = self.parse_term()
+            return Equals(term, right)
+        if self.accept("op", "!="):
+            right = self.parse_term()
+            return Not(Equals(term, right))
+        for op in ("<=", ">=", "<", ">"):
+            if self.accept("op", op):
+                right = self.parse_term()
+                return Compare(op, term, right)
+        # No comparison: the term must be an application usable as a
+        # relation atom.
+        if isinstance(term, Func):
+            if self.schema is not None and not self.schema.has_relation(term.name):
+                raise ParseError(
+                    f"{term.name} is not a declared relation", start.position, self.text
+                )
+            return RelAtom(term.name, term.args)
+        raise ParseError(
+            f"expected an atom, found bare term {term}", start.position, self.text
+        )
+
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Const(value)
+        if token.kind == "string":
+            self.advance()
+            return Const(token.value[1:-1])
+        if token.kind == "name":
+            self.advance()
+            if self.accept("op", "("):
+                args = [self.parse_term()]
+                while self.accept("op", ","):
+                    args.append(self.parse_term())
+                self.expect("op", ")")
+                # Whether this is a function term or a relation atom is
+                # decided by the caller (_atom); we build Func and let the
+                # caller reinterpret.  But if the name is *known* to be a
+                # relation, keep Func anyway — Func is just the spelling
+                # "name(args)" until context resolves it.
+                return Func(token.value, tuple(args))
+            return Var(token.value)
+        raise ParseError(f"expected a term, found {token.value!r}",
+                         token.position, self.text)
+
+
+def _resolve_terms(term: Term, schema: DatabaseSchema | None, text: str) -> Term:
+    """Reject relation names used in term positions (when schema is known)."""
+    if isinstance(term, Func):
+        if schema is not None and schema.has_relation(term.name):
+            raise ParseError(f"relation {term.name} used as a scalar function", -1, text)
+        if schema is None and term.name[0].isupper():
+            raise ParseError(
+                f"{term.name} looks like a relation (upper-case initial) but is "
+                "used as a scalar function", -1, text,
+            )
+        return Func(term.name, tuple(_resolve_terms(a, schema, text) for a in term.args))
+    return term
+
+
+def _resolve_formula(formula: Formula, schema: DatabaseSchema | None, text: str) -> Formula:
+    """Post-pass: validate function/relation positions throughout."""
+    if isinstance(formula, RelAtom):
+        if schema is None and not formula.name[0].isupper():
+            raise ParseError(
+                f"{formula.name} looks like a function (lower-case initial) but is "
+                "used as a relation atom", -1, text,
+            )
+        return RelAtom(formula.name,
+                       tuple(_resolve_terms(t, schema, text) for t in formula.terms))
+    if isinstance(formula, Equals):
+        return Equals(_resolve_terms(formula.left, schema, text),
+                      _resolve_terms(formula.right, schema, text))
+    if isinstance(formula, Compare):
+        return Compare(formula.op,
+                       _resolve_terms(formula.left, schema, text),
+                       _resolve_terms(formula.right, schema, text))
+    if isinstance(formula, Not):
+        return Not(_resolve_formula(formula.child, schema, text))
+    from repro.core.formulas import And, Exists, Forall, Or
+    if isinstance(formula, And):
+        return And(tuple(_resolve_formula(c, schema, text) for c in formula.children))
+    if isinstance(formula, Or):
+        return Or(tuple(_resolve_formula(c, schema, text) for c in formula.children))
+    if isinstance(formula, Exists):
+        return Exists(formula.vars, _resolve_formula(formula.body, schema, text))
+    if isinstance(formula, Forall):
+        return Forall(formula.vars, _resolve_formula(formula.body, schema, text))
+    raise ParseError(f"unknown formula node {formula!r}", -1, text)
+
+
+def parse_formula(text: str, schema: DatabaseSchema | None = None) -> Formula:
+    """Parse a formula from text.
+
+    With a schema, relation/function names are resolved against it and
+    arities are validated; without one, the upper/lower-case initial
+    convention applies.
+    """
+    parser = _Parser(text, schema)
+    formula = parser.parse_formula()
+    parser.expect("eof")
+    formula = _resolve_formula(formula, schema, text)
+    if schema is not None:
+        schema.validate_formula(formula)
+    return formula
+
+
+def parse_query(text: str, schema: DatabaseSchema | None = None) -> CalculusQuery:
+    """Parse a query ``{ t1, ..., tn | formula }`` from text."""
+    parser = _Parser(text, schema)
+    raw = parser.parse_query()
+    head = tuple(_resolve_terms(t, schema, text) for t in raw.head)
+    body = _resolve_formula(raw.body, schema, text)
+    out = CalculusQuery(head, body)
+    if schema is not None:
+        schema.validate_query(out)
+    return out
+
+
+def parse_term(text: str, schema: DatabaseSchema | None = None) -> Term:
+    """Parse a single term from text."""
+    parser = _Parser(text, schema)
+    term = parser.parse_term()
+    parser.expect("eof")
+    return _resolve_terms(term, schema, text)

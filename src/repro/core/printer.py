@@ -1,0 +1,115 @@
+"""Pretty-printing of calculus queries, formulas and terms.
+
+``to_text`` produces the concrete syntax accepted by
+:mod:`repro.core.parser`, so ``parse_formula(to_text(f)) == f`` holds
+structurally (up to flattening of nested conjunctions/disjunctions,
+which the parser performs eagerly).  ``to_sexpr`` produces an
+s-expression rendering convenient in test failure output.
+"""
+
+from __future__ import annotations
+
+from repro.core.formulas import (
+    And,
+    Compare,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+)
+from repro.core.queries import CalculusQuery
+from repro.core.terms import Const, Func, Term, Var
+
+__all__ = ["to_text", "term_to_text", "to_sexpr"]
+
+
+def term_to_text(term: Term) -> str:
+    """Concrete syntax for a term."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        if isinstance(term.value, str):
+            return f"'{term.value}'"
+        return str(term.value)
+    if isinstance(term, Func):
+        return f"{term.name}({', '.join(term_to_text(a) for a in term.args)})"
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _formula_to_text(formula: Formula, parent: str) -> str:
+    """Render with minimal parentheses.
+
+    ``parent`` is one of '', 'or', 'and', 'not' — the binding strength of
+    the context; '|' binds loosest, then '&', then '~'.
+    """
+    if isinstance(formula, RelAtom):
+        return f"{formula.name}({', '.join(term_to_text(t) for t in formula.terms)})"
+    if isinstance(formula, Equals):
+        text = f"{term_to_text(formula.left)} = {term_to_text(formula.right)}"
+        return f"({text})" if parent == "not" else text
+    if isinstance(formula, Compare):
+        text = (f"{term_to_text(formula.left)} {formula.op} "
+                f"{term_to_text(formula.right)}")
+        return f"({text})" if parent == "not" else text
+    if isinstance(formula, Not):
+        if isinstance(formula.child, Equals):
+            text = (f"{term_to_text(formula.child.left)} != "
+                    f"{term_to_text(formula.child.right)}")
+            return f"({text})" if parent == "not" else text
+        return f"~{_formula_to_text(formula.child, 'not')}"
+    if isinstance(formula, And):
+        text = " & ".join(_formula_to_text(c, "and") for c in formula.children)
+        return f"({text})" if parent in ("and", "not") else text
+    if isinstance(formula, Or):
+        text = " | ".join(_formula_to_text(c, "or") for c in formula.children)
+        return f"({text})" if parent in ("or", "and", "not") else text
+    if isinstance(formula, (Exists, Forall)):
+        word = "exists" if isinstance(formula, Exists) else "forall"
+        text = f"{word} {' '.join(formula.vars)} ({_formula_to_text(formula.body, '')})"
+        return f"({text})" if parent in ("or", "and", "not") else text
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def to_text(node: Formula | CalculusQuery | Term) -> str:
+    """Concrete syntax for a query, formula, or term (parser-compatible)."""
+    if isinstance(node, CalculusQuery):
+        head = ", ".join(term_to_text(t) for t in node.head)
+        return f"{{ {head} | {_formula_to_text(node.body, '')} }}"
+    if isinstance(node, Formula):
+        return _formula_to_text(node, "")
+    if isinstance(node, Term):
+        return term_to_text(node)
+    raise TypeError(f"cannot print {node!r}")
+
+
+def to_sexpr(node) -> str:
+    """S-expression rendering, useful in debugging and test output."""
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Const):
+        return repr(node.value)
+    if isinstance(node, Func):
+        return f"({node.name} {' '.join(to_sexpr(a) for a in node.args)})"
+    if isinstance(node, RelAtom):
+        return f"({node.name} {' '.join(to_sexpr(t) for t in node.terms)})"
+    if isinstance(node, Equals):
+        return f"(= {to_sexpr(node.left)} {to_sexpr(node.right)})"
+    if isinstance(node, Compare):
+        return f"({node.op} {to_sexpr(node.left)} {to_sexpr(node.right)})"
+    if isinstance(node, Not):
+        return f"(not {to_sexpr(node.child)})"
+    if isinstance(node, And):
+        return f"(and {' '.join(to_sexpr(c) for c in node.children)})"
+    if isinstance(node, Or):
+        return f"(or {' '.join(to_sexpr(c) for c in node.children)})"
+    if isinstance(node, Exists):
+        return f"(exists ({' '.join(node.vars)}) {to_sexpr(node.body)})"
+    if isinstance(node, Forall):
+        return f"(forall ({' '.join(node.vars)}) {to_sexpr(node.body)})"
+    if isinstance(node, CalculusQuery):
+        head = " ".join(to_sexpr(t) for t in node.head)
+        return f"(query ({head}) {to_sexpr(node.body)})"
+    raise TypeError(f"cannot render {node!r}")

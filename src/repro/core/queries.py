@@ -1,0 +1,137 @@
+"""Calculus queries ``{ (t1, ..., tn) | phi }``.
+
+A query pairs a tuple of *output terms* with a formula body.  Output
+terms are usually variables, but the paper's very first example is
+``q1 = { g(f(x)) | R(x) }``: arbitrary terms over the free variables of
+the body are permitted, which is what makes the extended projection of
+the algebra necessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.formulas import (
+    Formula,
+    formula_constants,
+    formula_function_depth,
+    formula_function_names,
+    free_variables,
+    relation_names,
+    standardize_apart,
+)
+from repro.core.terms import (
+    Const,
+    Term,
+    Var,
+    function_depth,
+    function_names as term_function_names,
+    variables as term_variables,
+    walk_term,
+)
+from repro.errors import FormulaError
+
+__all__ = ["CalculusQuery", "query"]
+
+
+@dataclass(frozen=True, slots=True)
+class CalculusQuery:
+    """A relational calculus query ``{ head | body }``.
+
+    Invariants enforced at construction:
+
+    * every variable in ``head`` is free in ``body``;
+    * every free variable of ``body`` appears in ``head`` (otherwise the
+      query's answer would not determine those variables — callers who
+      want them projected away must quantify them explicitly).
+    """
+
+    head: tuple[Term, ...]
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.head, tuple):
+            object.__setattr__(self, "head", tuple(self.head))
+        for t in self.head:
+            if not isinstance(t, Term):
+                raise FormulaError(f"query head entries must be terms, got {t!r}")
+        head_vars: set[str] = set()
+        for t in self.head:
+            head_vars |= term_variables(t)
+        body_free = free_variables(self.body)
+        extra_head = head_vars - body_free
+        if extra_head:
+            raise FormulaError(
+                f"head variables {sorted(extra_head)} are not free in the body"
+            )
+        dangling = body_free - head_vars
+        if dangling:
+            raise FormulaError(
+                f"free body variables {sorted(dangling)} do not occur in the head; "
+                "quantify them or add them to the head"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of output columns."""
+        return len(self.head)
+
+    @property
+    def head_variables(self) -> frozenset[str]:
+        names: set[str] = set()
+        for t in self.head:
+            names |= term_variables(t)
+        return frozenset(names)
+
+    def relation_names(self) -> frozenset[str]:
+        return relation_names(self.body)
+
+    def function_names(self) -> frozenset[str]:
+        names = set(formula_function_names(self.body))
+        for t in self.head:
+            names |= term_function_names(t)
+        return frozenset(names)
+
+    def constants(self) -> frozenset:
+        """Constants of the query (they join the active domain, Section 5)."""
+        values = set(formula_constants(self.body))
+        for t in self.head:
+            for node in walk_term(t):
+                if isinstance(node, Const):
+                    values.add(node.value)
+        return frozenset(values)
+
+    def function_depth(self) -> int:
+        """The paper's ``||q||`` measure over head terms and body atoms."""
+        depth = formula_function_depth(self.body)
+        for t in self.head:
+            depth = max(depth, function_depth(t))
+        return depth
+
+    def standardized(self) -> "CalculusQuery":
+        """The same query with bound variables standardized apart."""
+        return CalculusQuery(self.head, standardize_apart(self.body))
+
+    def __str__(self) -> str:
+        head = ", ".join(str(t) for t in self.head)
+        return f"{{ {head} | {self.body} }}"
+
+
+def query(head: Iterable[Term | str], body: Formula) -> CalculusQuery:
+    """Build a :class:`CalculusQuery`; bare strings in ``head`` become variables.
+
+    Example::
+
+        q = query(["x", "y"], And((RelAtom("R", (Var("x"),)),
+                                   Equals(Func("f", (Var("x"),)), Var("y")))))
+    """
+    terms: list[Term] = []
+    for entry in head:
+        if isinstance(entry, str):
+            terms.append(Var(entry))
+        elif isinstance(entry, Term):
+            terms.append(entry)
+        else:
+            terms.append(Const(entry))
+    return CalculusQuery(tuple(terms), body)

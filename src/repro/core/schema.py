@@ -1,0 +1,192 @@
+"""Database and function schemas.
+
+The paper assumes a countable set of relation names with fixed arities
+and function names with fixed arities.  A :class:`DatabaseSchema` makes
+those declarations explicit so that queries, instances and
+interpretations can be validated before any analysis runs — the kind of
+checking a query compiler embedded in a host language performs at
+compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.formulas import Compare, Equals, Formula, RelAtom, subformulas
+from repro.core.queries import CalculusQuery
+from repro.core.terms import Func, Term, walk_term
+from repro.errors import SchemaError
+
+__all__ = ["RelationSchema", "FunctionSignature", "DatabaseSchema"]
+
+
+@dataclass(frozen=True, slots=True)
+class RelationSchema:
+    """Declaration of a finite database relation: a name and an arity.
+
+    Column names are optional documentation; the calculus and the
+    extended algebra are positional (coordinate-based, after
+    Heraclitus [GHJ92]).
+    """
+
+    name: str
+    arity: int
+    columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if self.arity < 0:
+            raise SchemaError(f"relation {self.name}: arity must be >= 0")
+        if self.columns and len(self.columns) != self.arity:
+            raise SchemaError(
+                f"relation {self.name}: {len(self.columns)} column names for arity {self.arity}"
+            )
+
+    def __str__(self) -> str:
+        if self.columns:
+            return f"{self.name}({', '.join(self.columns)})"
+        return f"{self.name}/{self.arity}"
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionSignature:
+    """Declaration of a scalar function symbol: a name and an arity.
+
+    The paper's formal development assumes functions are total over the
+    domain; ``total=False`` records the Section 9 practical setting where
+    the host-language function may be partial (evaluation then treats an
+    application outside the function's domain as an error).
+    """
+
+    name: str
+    arity: int
+    total: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("function name must be non-empty")
+        if self.arity < 1:
+            raise SchemaError(
+                f"function {self.name}: arity must be >= 1 (use constants for arity 0)"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class DatabaseSchema:
+    """A collection of relation schemas and function signatures.
+
+    Instances are immutable after construction; ``with_relation`` /
+    ``with_function`` return extended copies.
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema] = (),
+                 functions: Iterable[FunctionSignature] = ()):
+        self._relations: dict[str, RelationSchema] = {}
+        self._functions: dict[str, FunctionSignature] = {}
+        for r in relations:
+            if r.name in self._relations:
+                raise SchemaError(f"duplicate relation declaration: {r.name}")
+            self._relations[r.name] = r
+        for f in functions:
+            if f.name in self._functions:
+                raise SchemaError(f"duplicate function declaration: {f.name}")
+            if f.name in self._relations:
+                raise SchemaError(f"name {f.name} declared as both relation and function")
+            self._functions[f.name] = f
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def of(cls, relations: Mapping[str, int] | None = None,
+           functions: Mapping[str, int] | None = None) -> "DatabaseSchema":
+        """Shorthand: ``DatabaseSchema.of({"R": 2}, {"f": 1})``."""
+        rels = [RelationSchema(n, a) for n, a in (relations or {}).items()]
+        funcs = [FunctionSignature(n, a) for n, a in (functions or {}).items()]
+        return cls(rels, funcs)
+
+    def with_relation(self, name: str, arity: int,
+                      columns: tuple[str, ...] = ()) -> "DatabaseSchema":
+        return DatabaseSchema(
+            list(self._relations.values()) + [RelationSchema(name, arity, columns)],
+            self._functions.values(),
+        )
+
+    def with_function(self, name: str, arity: int, total: bool = True) -> "DatabaseSchema":
+        return DatabaseSchema(
+            self._relations.values(),
+            list(self._functions.values()) + [FunctionSignature(name, arity, total)],
+        )
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def relations(self) -> tuple[RelationSchema, ...]:
+        return tuple(self._relations.values())
+
+    @property
+    def functions(self) -> tuple[FunctionSignature, ...]:
+        return tuple(self._functions.values())
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"undeclared relation: {name}") from None
+
+    def function(self, name: str) -> FunctionSignature:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise SchemaError(f"undeclared function: {name}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    # -- validation -------------------------------------------------------------
+
+    def _validate_term(self, term: Term, where: str) -> None:
+        for node in walk_term(term):
+            if isinstance(node, Func):
+                sig = self.function(node.name)
+                if sig.arity != node.arity:
+                    raise SchemaError(
+                        f"{where}: function {node.name} used with arity "
+                        f"{node.arity}, declared {sig.arity}"
+                    )
+
+    def validate_formula(self, formula: Formula) -> None:
+        """Raise :class:`SchemaError` if ``formula`` misuses any declaration."""
+        for sub in subformulas(formula):
+            if isinstance(sub, RelAtom):
+                decl = self.relation(sub.name)
+                if decl.arity != sub.arity:
+                    raise SchemaError(
+                        f"relation {sub.name} used with arity {sub.arity}, "
+                        f"declared {decl.arity}"
+                    )
+                for t in sub.terms:
+                    self._validate_term(t, f"atom {sub}")
+            elif isinstance(sub, (Equals, Compare)):
+                self._validate_term(sub.left, f"atom {sub}")
+                self._validate_term(sub.right, f"atom {sub}")
+
+    def validate_query(self, query: CalculusQuery) -> None:
+        """Validate the body and every head term of ``query``."""
+        self.validate_formula(query.body)
+        for t in query.head:
+            self._validate_term(t, "query head")
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __str__(self) -> str:
+        rels = ", ".join(str(r) for r in self._relations.values())
+        funcs = ", ".join(str(f) for f in self._functions.values())
+        return f"schema(relations=[{rels}], functions=[{funcs}])"

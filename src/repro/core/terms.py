@@ -1,0 +1,222 @@
+"""Terms of the relational calculus with scalar functions.
+
+A *term* is a variable, a constant, or an application of a scalar
+function symbol to terms (Section 4 of the paper).  Scalar functions are
+*uninterpreted* at the syntactic level; they receive meaning from an
+:class:`repro.data.interpretation.Interpretation` at evaluation time.
+
+Terms are immutable and hashable, so they can live in sets and serve as
+dictionary keys throughout the safety analysis and the translator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterator, Mapping
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Func",
+    "variables",
+    "top_level_variables",
+    "constants",
+    "function_names",
+    "function_depth",
+    "is_ground",
+    "substitute_term",
+    "walk_term",
+    "term_size",
+]
+
+
+class Term:
+    """Abstract base class for calculus terms.
+
+    Concrete terms are :class:`Var`, :class:`Const` and :class:`Func`.
+    The class exists to give a common type for annotations and
+    ``isinstance`` checks; it carries no state.
+    """
+
+    __slots__ = ()
+
+    def __eq__(self, other) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """A variable, identified by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"variable name must be a non-empty string, got {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Term):
+    """A constant from the underlying domain ``dom``.
+
+    The paper treats ``dom`` as a countably infinite set of uninterpreted
+    constants; we admit any hashable Python value, which also covers the
+    practical setting (Section 9) where the domain includes integers and
+    strings from the host language.
+    """
+
+    value: Hashable
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Func(Term):
+    """An application ``f(t1, ..., tn)`` of a scalar function symbol.
+
+    Function symbols are total over the domain (the paper's assumption);
+    partial functions are a Section 9 practical concern handled at
+    evaluation time by :class:`repro.data.interpretation.Interpretation`.
+    """
+
+    name: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"function name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+        for arg in self.args:
+            if not isinstance(arg, Term):
+                raise TypeError(f"function argument must be a Term, got {arg!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        return f"Func({self.name!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+def walk_term(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and all of its subterms, pre-order."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Func):
+            stack.extend(reversed(current.args))
+
+
+def variables(term: Term) -> frozenset[str]:
+    """The set of variable names occurring anywhere in ``term``."""
+    return frozenset(t.name for t in walk_term(term) if isinstance(t, Var))
+
+
+def top_level_variables(term: Term) -> frozenset[str]:
+    """Variable names *not* nested under any function symbol.
+
+    For a bare variable this is ``{x}``; for ``f(x)`` it is empty.  This
+    distinction drives rule B1 of ``bd``: membership of ``f(x)`` in a
+    finite relation bounds the value ``f(x)`` but not ``x`` itself,
+    because scalar functions need not be invertible.
+    """
+    if isinstance(term, Var):
+        return frozenset({term.name})
+    return frozenset()
+
+
+def constants(term: Term) -> frozenset:
+    """All constant values occurring in ``term``."""
+    return frozenset(t.value for t in walk_term(term) if isinstance(t, Const))
+
+
+def function_names(term: Term) -> frozenset[str]:
+    """All scalar function names occurring in ``term``."""
+    return frozenset(t.name for t in walk_term(term) if isinstance(t, Func))
+
+
+def function_depth(term: Term) -> int:
+    """Maximum nesting depth of function applications in ``term``.
+
+    ``x`` and ``c`` have depth 0, ``f(x)`` depth 1, ``g(f(x))`` depth 2.
+    This is the ingredient of the paper's ``||phi||`` measure bounding
+    the embedded-domain-independence level.
+    """
+    if isinstance(term, Func):
+        inner = max((function_depth(a) for a in term.args), default=0)
+        return 1 + inner
+    return 0
+
+
+def term_size(term: Term) -> int:
+    """Number of nodes in the term tree."""
+    return sum(1 for _ in walk_term(term))
+
+
+def is_ground(term: Term) -> bool:
+    """True when ``term`` contains no variables."""
+    return not variables(term)
+
+
+def substitute_term(term: Term, mapping: Mapping[str, Term]) -> Term:
+    """Replace variables in ``term`` by terms according to ``mapping``.
+
+    Variables absent from ``mapping`` are left in place.  The substitution
+    is simultaneous (applied once, not to its own output).
+    """
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, Func):
+        new_args = tuple(substitute_term(a, mapping) for a in term.args)
+        if new_args == term.args:
+            return term
+        return Func(term.name, new_args)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def evaluate_term(term: Term, valuation: Mapping[str, Hashable],
+                  functions: Mapping[str, Callable]) -> Hashable:
+    """Evaluate a term under a valuation of its variables.
+
+    ``functions`` maps scalar function names to Python callables (an
+    :class:`~repro.data.interpretation.Interpretation` works directly).
+    Raises ``KeyError`` for unbound variables or unknown functions; the
+    higher-level evaluators wrap this in :class:`repro.errors.EvaluationError`.
+    """
+    if isinstance(term, Var):
+        return valuation[term.name]
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Func):
+        args = [evaluate_term(a, valuation, functions) for a in term.args]
+        # strict propagation of partial-function failures: applying any
+        # function to an UNDEFINED argument is UNDEFINED without calling
+        from repro.data.interpretation import UNDEFINED
+        if any(a is UNDEFINED for a in args):
+            return UNDEFINED
+        return functions[term.name](*args)
+    raise TypeError(f"not a term: {term!r}")

@@ -1,0 +1,55 @@
+"""Finite-relation storage substrate, interpretations, and domains.
+
+* :mod:`repro.data.relation` — set-semantics relations;
+* :mod:`repro.data.instance` — named relations, ``adom(I)``;
+* :mod:`repro.data.interpretation` — scalar function interpretations;
+* :mod:`repro.data.domain` — ``adom(q, I)`` and term closures ``term_k``;
+* :mod:`repro.data.generators` — seeded synthetic data.
+"""
+
+from repro.data.domain import adom, closure_levels, term_closure, term_closure_applications
+from repro.data.generators import (
+    integer_universe,
+    random_instance,
+    random_relation,
+    skewed_relation,
+    standard_functions,
+)
+from repro.data.instance import Instance
+from repro.data.io import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    save_instance,
+)
+from repro.data.interpretation import (
+    UNDEFINED,
+    Interpretation,
+    TabulatedInterpretation,
+    partial_function,
+    perturbed_outside,
+)
+from repro.data.relation import Relation
+
+__all__ = [
+    "Relation",
+    "Instance",
+    "Interpretation",
+    "TabulatedInterpretation",
+    "perturbed_outside",
+    "UNDEFINED",
+    "partial_function",
+    "instance_to_json",
+    "instance_from_json",
+    "save_instance",
+    "load_instance",
+    "adom",
+    "term_closure",
+    "term_closure_applications",
+    "closure_levels",
+    "random_relation",
+    "random_instance",
+    "skewed_relation",
+    "integer_universe",
+    "standard_functions",
+]

@@ -1,0 +1,125 @@
+"""Active domains and term closures (Section 5 of the paper).
+
+``adom(q, I)`` is the set of constants of the query plus every value in
+the instance.  The *term closure to level k*, ``term_k(C)``, extends a
+finite set ``C`` by at most ``k`` rounds of scalar-function application
+(functions only — no inverses; this is the paper's difference from the
+DB-window closure of [BM92a]).
+
+Embedded domain independence says: there is a ``k`` such that the query
+answer is already determined by the behaviour of the interpretation on
+``term_k(adom(q, I))`` — evaluating the query never needs to look
+further into the infinite domain.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Iterable
+
+from repro.core.queries import CalculusQuery
+from repro.core.schema import DatabaseSchema
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation, UNDEFINED
+
+__all__ = ["adom", "term_closure", "term_closure_applications", "closure_levels"]
+
+
+def adom(query: CalculusQuery | None, instance: Instance) -> frozenset:
+    """``adom(q, I)``: constants of the query plus all instance values."""
+    values = set(instance.active_domain())
+    if query is not None:
+        values |= query.constants()
+    return frozenset(values)
+
+
+def term_closure(base: Iterable[Hashable], k: int,
+                 interpretation: Interpretation,
+                 schema: DatabaseSchema,
+                 function_names: Iterable[str] | None = None) -> frozenset:
+    """``term_k(base)``: close ``base`` under at most ``k`` rounds of
+    application of the schema's scalar functions.
+
+    ``function_names`` restricts which functions participate (by default
+    all functions of the schema — for a query one passes the functions it
+    mentions, matching ``term_k(adom(q, I))`` computed "for q").
+
+    The closure can grow as ``|base| ** (max_arity ** k)`` in the worst
+    case; callers in tests and benchmarks keep ``base`` and ``k`` small.
+    """
+    if k < 0:
+        raise ValueError(f"closure level must be >= 0, got {k}")
+    allowed = set(function_names) if function_names is not None else None
+    current: set = set(base)
+    frontier: set = set(current)
+    for _ in range(k):
+        new_values: set = set()
+        for sig in schema.functions:
+            if allowed is not None and sig.name not in allowed:
+                continue
+            fn = interpretation[sig.name]
+            # Apply to argument tuples touching the frontier at least once:
+            # tuples entirely inside the older layers were handled in a
+            # previous round.
+            for args in product(sorted(current, key=repr), repeat=sig.arity):
+                if not any(a in frontier for a in args):
+                    continue
+                value = fn(*args)
+                if value is UNDEFINED:
+                    continue
+                if value not in current:
+                    new_values.add(value)
+        if not new_values:
+            break
+        current |= new_values
+        frontier = new_values
+    return frozenset(current)
+
+
+def term_closure_applications(base: Iterable[Hashable], k: int,
+                              interpretation: Interpretation,
+                              schema: DatabaseSchema,
+                              function_names: Iterable[str] | None = None
+                              ) -> frozenset[tuple[str, tuple]]:
+    """All (function name, argument tuple) applications examined while
+    computing ``term_k(base)``.
+
+    The EDI experiments protect exactly these applications when building
+    perturbed interpretations: two interpretations that return the same
+    values on this set "agree on ``term_k(base)``" in the paper's sense.
+    """
+    if k < 0:
+        raise ValueError(f"closure level must be >= 0, got {k}")
+    allowed = set(function_names) if function_names is not None else None
+    current: set = set(base)
+    applications: set[tuple[str, tuple]] = set()
+    for _ in range(k):
+        new_values: set = set()
+        for sig in schema.functions:
+            if allowed is not None and sig.name not in allowed:
+                continue
+            fn = interpretation[sig.name]
+            for args in product(sorted(current, key=repr), repeat=sig.arity):
+                applications.add((sig.name, args))
+                value = fn(*args)
+                if value is UNDEFINED:
+                    continue
+                if value not in current:
+                    new_values.add(value)
+        if not new_values:
+            # keep going is pointless only if the value set is stable —
+            # applications over the stable set were just recorded.
+            break
+        current |= new_values
+    return frozenset(applications)
+
+
+def closure_levels(base: Iterable[Hashable], k: int,
+                   interpretation: Interpretation,
+                   schema: DatabaseSchema) -> list[frozenset]:
+    """``[term_0(base), term_1(base), ..., term_k(base)]`` — the growth
+    profile reported by benchmark E2."""
+    return [
+        term_closure(base, level, interpretation, schema)
+        for level in range(k + 1)
+    ]

@@ -1,0 +1,108 @@
+"""Synthetic data generation for tests and benchmarks.
+
+The paper has no experimental datasets (it is a theory paper); the
+benchmark harness drives the implementation with synthetic instances
+produced here.  Everything is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from repro.core.schema import DatabaseSchema
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.data.relation import Relation
+
+__all__ = [
+    "random_relation",
+    "random_instance",
+    "integer_universe",
+    "standard_functions",
+    "skewed_relation",
+]
+
+
+def integer_universe(size: int, start: int = 0) -> list[int]:
+    """A small integer universe ``[start, start + size)``."""
+    return list(range(start, start + size))
+
+
+def random_relation(arity: int, n_rows: int, universe: Sequence[Hashable],
+                    rng: random.Random) -> Relation:
+    """A relation of ``n_rows`` distinct random tuples over ``universe``.
+
+    If the universe is too small to supply ``n_rows`` distinct tuples the
+    relation saturates at ``|universe| ** arity`` rows.
+    """
+    capacity = len(universe) ** arity
+    target = min(n_rows, capacity)
+    rows: set[tuple] = set()
+    while len(rows) < target:
+        rows.add(tuple(rng.choice(universe) for _ in range(arity)))
+    return Relation(arity, rows)
+
+
+def skewed_relation(arity: int, n_rows: int, universe: Sequence[Hashable],
+                    rng: random.Random, hot_fraction: float = 0.2,
+                    hot_probability: float = 0.8) -> Relation:
+    """A relation with Zipf-ish skew: ``hot_probability`` of column values
+    are drawn from the first ``hot_fraction`` of the universe.
+
+    Used by the engine benchmarks, where join behaviour under skew is
+    the interesting regime.
+    """
+    hot_count = max(1, int(len(universe) * hot_fraction))
+    hot = universe[:hot_count]
+    rows: set[tuple] = set()
+    attempts = 0
+    while len(rows) < n_rows and attempts < n_rows * 20:
+        attempts += 1
+        row = tuple(
+            rng.choice(hot) if rng.random() < hot_probability else rng.choice(universe)
+            for _ in range(arity)
+        )
+        rows.add(row)
+    return Relation(arity, rows)
+
+
+def random_instance(schema: DatabaseSchema, n_rows: int,
+                    universe: Sequence[Hashable],
+                    seed: int = 0) -> Instance:
+    """An instance with ``n_rows`` random rows in every declared relation."""
+    rng = random.Random(seed)
+    relations = {
+        decl.name: random_relation(decl.arity, n_rows, universe, rng)
+        for decl in schema.relations
+    }
+    return Instance(relations)
+
+
+def standard_functions(schema: DatabaseSchema, modulus: int = 101,
+                       seed: int = 0) -> Interpretation:
+    """A deterministic interpretation for every function of ``schema``.
+
+    Each function is a distinct affine map modulo ``modulus`` on the
+    integers (non-integers hash first), so different function symbols get
+    visibly different behaviour, applications stay inside a bounded
+    universe, and everything is reproducible from the seed.
+    """
+    rng = random.Random(seed)
+
+    def make(fname: str):
+        a = rng.randrange(1, modulus)
+        b = rng.randrange(modulus)
+
+        def fn(*args):
+            total = 0
+            for value in args:
+                if not isinstance(value, int):
+                    value = hash(value)
+                total = (total * 31 + value) % modulus
+            return (a * total + b) % modulus
+
+        return fn
+
+    return Interpretation({sig.name: make(sig.name) for sig in schema.functions},
+                          name=f"standard(mod {modulus}, seed {seed})")

@@ -1,0 +1,116 @@
+"""Database instances: named finite relations.
+
+An :class:`Instance` maps relation names to :class:`~repro.data.relation.Relation`
+objects, optionally validated against a :class:`~repro.core.schema.DatabaseSchema`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.schema import DatabaseSchema
+from repro.data.relation import Relation, Row
+from repro.errors import EvaluationError, SchemaError
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """An immutable database instance.
+
+    ``Instance({"R": Relation(2, [...]), ...})`` or, more conveniently,
+    ``Instance.of(R=[(1, 2), (3, 4)], S=[(5,)])`` which infers arities
+    from the first row of each relation.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Mapping[str, Relation]):
+        self._relations: dict[str, Relation] = dict(relations)
+        for name, rel in self._relations.items():
+            if not isinstance(rel, Relation):
+                raise EvaluationError(f"instance entry {name} is not a Relation")
+
+    @classmethod
+    def of(cls, **named_rows: Iterable[Row]) -> "Instance":
+        """Build an instance from keyword arguments of row iterables.
+
+        Arity is inferred from the first row; an empty iterable yields an
+        empty relation whose arity cannot be inferred, so pass a
+        ``Relation`` explicitly for empty relations (or use ``with_empty``).
+        """
+        relations: dict[str, Relation] = {}
+        for name, rows in named_rows.items():
+            if isinstance(rows, Relation):
+                relations[name] = rows
+                continue
+            rows = [tuple(r) if isinstance(r, (tuple, list)) else (r,) for r in rows]
+            if not rows:
+                raise EvaluationError(
+                    f"cannot infer arity of empty relation {name}; "
+                    "pass a Relation or use with_empty"
+                )
+            relations[name] = Relation(len(rows[0]), rows)
+        return cls(relations)
+
+    # -- access -----------------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise EvaluationError(f"instance has no relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}[{len(r)}x{r.arity}]" for n, r in self._relations.items())
+        return f"Instance({parts})"
+
+    # -- derived -------------------------------------------------------------------
+
+    def with_relation(self, name: str, relation: Relation) -> "Instance":
+        updated = dict(self._relations)
+        updated[name] = relation
+        return Instance(updated)
+
+    def with_empty(self, name: str, arity: int) -> "Instance":
+        return self.with_relation(name, Relation.empty(arity))
+
+    def active_domain(self) -> frozenset:
+        """``adom(I)``: every value appearing in any relation of the instance."""
+        out: set = set()
+        for rel in self._relations.values():
+            out |= rel.active_values()
+        return frozenset(out)
+
+    def total_rows(self) -> int:
+        return sum(len(r) for r in self._relations.values())
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Check every relation against ``schema`` (names and arities)."""
+        for name, rel in self._relations.items():
+            decl = schema.relation(name)  # raises SchemaError when undeclared
+            if decl.arity != rel.arity:
+                raise SchemaError(
+                    f"relation {name}: instance arity {rel.arity} != declared {decl.arity}"
+                )

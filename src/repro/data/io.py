@@ -1,0 +1,80 @@
+"""Instance serialization (JSON).
+
+The format is deliberately plain so instances can be produced by any
+tool::
+
+    {
+      "R":  {"arity": 1, "rows": [[1], [2], [3]]},
+      "EMP": {"arity": 2, "rows": [["ann", 1000], ["bob", 2000]]}
+    }
+
+Values are JSON scalars (strings, numbers, booleans, null); row entries
+are compared with Python equality after loading, so ``1`` and ``1.0``
+collapse the way JSON numbers do.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.errors import EvaluationError
+
+__all__ = [
+    "instance_to_json",
+    "instance_from_json",
+    "save_instance",
+    "load_instance",
+]
+
+
+def instance_to_json(instance: Instance, indent: int | None = 2) -> str:
+    """Serialize ``instance`` to the JSON format above (rows sorted for
+    stable output)."""
+    payload = {
+        name: {
+            "arity": instance.relation(name).arity,
+            "rows": sorted((list(row) for row in instance.relation(name)),
+                           key=repr),
+        }
+        for name in sorted(instance.names)
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def instance_from_json(text: str) -> Instance:
+    """Parse an instance from its JSON serialization."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise EvaluationError(f"invalid instance JSON: {err}") from None
+    if not isinstance(payload, dict):
+        raise EvaluationError("instance JSON must be an object of relations")
+    relations: dict[str, Relation] = {}
+    for name, spec in payload.items():
+        if not isinstance(spec, dict) or "rows" not in spec:
+            raise EvaluationError(
+                f"relation {name}: expected an object with 'rows' (and "
+                "optionally 'arity')")
+        rows = [tuple(row) for row in spec["rows"]]
+        if "arity" in spec:
+            arity = spec["arity"]
+        elif rows:
+            arity = len(rows[0])
+        else:
+            raise EvaluationError(
+                f"relation {name}: empty relation needs an explicit 'arity'")
+        relations[name] = Relation(arity, rows)
+    return Instance(relations)
+
+
+def save_instance(instance: Instance, path: str | pathlib.Path) -> None:
+    """Write ``instance`` to ``path`` as JSON."""
+    pathlib.Path(path).write_text(instance_to_json(instance))
+
+
+def load_instance(path: str | pathlib.Path) -> Instance:
+    """Read an instance from a JSON file."""
+    return instance_from_json(pathlib.Path(path).read_text())

@@ -1,0 +1,128 @@
+"""Finite relations: the storage substrate.
+
+A :class:`Relation` is a finite set of fixed-arity tuples over the
+underlying domain.  Set semantics (no duplicates) match the calculus and
+the extended algebra of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import EvaluationError
+
+__all__ = ["Relation", "Row"]
+
+Row = tuple  # a tuple of domain values
+
+
+class Relation:
+    """A finite, set-semantics relation of fixed arity.
+
+    Tuples are plain Python tuples of hashable values.  The class is a
+    thin, well-checked wrapper around ``frozenset`` with arity metadata
+    and the handful of operations the evaluators need.
+    """
+
+    __slots__ = ("_arity", "_rows")
+
+    def __init__(self, arity: int, rows: Iterable[Row] = ()):
+        if arity < 0:
+            raise EvaluationError(f"relation arity must be >= 0, got {arity}")
+        self._arity = arity
+        frozen: set[Row] = set()
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise EvaluationError(
+                    f"row {row!r} has {len(row)} columns, relation has arity {arity}"
+                )
+            frozen.add(row)
+        self._rows: frozenset[Row] = frozenset(frozen)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Iterable[Hashable]) -> "Relation":
+        """A unary relation from a plain iterable of values."""
+        return cls(1, ((v,) for v in values))
+
+    @classmethod
+    def empty(cls, arity: int) -> "Relation":
+        return cls(arity)
+
+    # -- basic protocol ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._arity == other._arity and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._rows))
+
+    def __repr__(self) -> str:
+        sample = sorted(self._rows, key=repr)[:4]
+        suffix = ", ..." if len(self._rows) > 4 else ""
+        return f"Relation(arity={self._arity}, rows={sample}{suffix} [{len(self)} rows])"
+
+    # -- algebra building blocks --------------------------------------------------
+
+    def _require_same_arity(self, other: "Relation", op: str) -> None:
+        if self._arity != other._arity:
+            raise EvaluationError(
+                f"{op}: arity mismatch {self._arity} vs {other._arity}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        self._require_same_arity(other, "union")
+        return Relation(self._arity, self._rows | other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        self._require_same_arity(other, "difference")
+        return Relation(self._arity, self._rows - other._rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        self._require_same_arity(other, "intersection")
+        return Relation(self._arity, self._rows & other._rows)
+
+    def product(self, other: "Relation") -> "Relation":
+        return Relation(
+            self._arity + other._arity,
+            (a + b for a in self._rows for b in other._rows),
+        )
+
+    def project_positions(self, positions: Iterable[int]) -> "Relation":
+        """Classic projection onto 0-based column positions."""
+        positions = list(positions)
+        for p in positions:
+            if not 0 <= p < self._arity:
+                raise EvaluationError(
+                    f"projection position {p} out of range for arity {self._arity}"
+                )
+        return Relation(len(positions),
+                        (tuple(row[p] for p in positions) for row in self._rows))
+
+    def active_values(self) -> frozenset:
+        """All domain values appearing in any column."""
+        out: set = set()
+        for row in self._rows:
+            out.update(row)
+        return frozenset(out)

@@ -1,0 +1,25 @@
+"""Physical execution engine: operators, planner, executor.
+
+The engine exists for the performance experiments (E6/E9): the paper's
+argument that [GT91]-style plans beat active-domain plans is a claim
+about execution, and these operators make it measurable.
+Correctness is anchored to :func:`repro.algebra.evaluate` — the engine
+must return identical relations on every plan (tested).
+"""
+
+from repro.engine.executor import RunReport, execute
+from repro.engine.operators import OpCounters
+from repro.engine.optimizer import choose_build_sides
+from repro.engine.planner import build_physical_plan
+from repro.engine.stats import (
+    InstanceStats,
+    TableStats,
+    collect_stats,
+    estimate_cardinality,
+)
+
+__all__ = [
+    "execute", "RunReport", "OpCounters", "build_physical_plan",
+    "collect_stats", "TableStats", "InstanceStats",
+    "estimate_cardinality", "choose_build_sides",
+]

@@ -1,0 +1,61 @@
+"""Plan execution and run reports."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.algebra.ast import AlgebraExpr
+from repro.core.schema import DatabaseSchema
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.data.relation import Relation
+from repro.engine.operators import OpCounters
+from repro.engine.planner import build_physical_plan
+
+__all__ = ["RunReport", "execute"]
+
+
+@dataclass
+class RunReport:
+    """Result and measurements of one plan execution."""
+
+    result: Relation
+    elapsed_seconds: float
+    counters: OpCounters
+    function_calls: int
+
+    @property
+    def intermediate_rows(self) -> int:
+        """Total rows produced by all operators (the E6 cost measure)."""
+        return self.counters.total_rows()
+
+    def summary(self) -> str:
+        per_op = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.counters.rows.items())
+        )
+        return (f"{len(self.result)} result rows in {self.elapsed_seconds * 1e3:.2f} ms; "
+                f"intermediates: {per_op}; function calls: {self.function_calls}")
+
+
+def execute(expr: AlgebraExpr, instance: Instance,
+            interpretation: Interpretation,
+            schema: DatabaseSchema | None = None) -> RunReport:
+    """Plan and run ``expr``, returning the result with measurements.
+
+    Scalar-function applications are counted through the
+    interpretation's own counters (reset at entry), so the report
+    reflects this execution only.
+    """
+    interpretation.reset_counts()
+    counters = OpCounters()
+    plan = build_physical_plan(expr, instance, interpretation, schema, counters)
+    start = time.perf_counter()
+    rows = set(plan.rows())
+    elapsed = time.perf_counter() - start
+    return RunReport(
+        result=Relation(plan.arity, rows),
+        elapsed_seconds=elapsed,
+        counters=counters,
+        function_calls=interpretation.call_count(),
+    )

@@ -1,0 +1,370 @@
+"""Physical operators: the "practical setting" execution substrate.
+
+Section 9 of the paper discusses applying the translation in practical
+settings; the payoff of emitting [GT91]-style plans rather than
+active-domain plans is only visible on an executor with real join
+algorithms.  This module provides a small iterator-style physical
+operator set:
+
+* :class:`ScanOp` — base relation scan;
+* :class:`FilterOp` — predicate filter (conditions over columns);
+* :class:`MapOp` — extended projection (applies scalar functions);
+* :class:`HashJoinOp` — equi-join on column pairs, builds on the right;
+* :class:`NestedLoopJoinOp` — theta-join fallback;
+* :class:`UnionOp`, :class:`DiffOp` — set operations with dedup;
+* :class:`AdomOp` — materializes the function-closed active domain
+  (used only by baseline plans).
+
+Every operator counts the rows it produces in a shared
+:class:`OpCounters`, the measurement reported by experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.algebra.ast import ColExpr, Condition, compare_values
+from repro.algebra.evaluator import eval_colexpr
+from repro.data.interpretation import Interpretation, UNDEFINED
+from repro.data.relation import Relation
+
+__all__ = [
+    "OpCounters",
+    "PhysicalOp",
+    "ScanOp",
+    "LiteralOp",
+    "FilterOp",
+    "MapOp",
+    "HashJoinOp",
+    "NestedLoopJoinOp",
+    "UnionOp",
+    "DiffOp",
+    "AdomOp",
+]
+
+
+@dataclass
+class OpCounters:
+    """Rows produced per operator class plus total comparisons."""
+
+    rows: dict[str, int] = field(default_factory=dict)
+    function_calls: int = 0
+
+    def bump(self, op_name: str, n: int = 1) -> None:
+        self.rows[op_name] = self.rows.get(op_name, 0) + n
+
+    def total_rows(self) -> int:
+        return sum(self.rows.values())
+
+
+class PhysicalOp:
+    """Base class: a pull-based iterator of tuples.
+
+    ``rows()`` yields output tuples; ``arity`` is the output width.
+    Operators are single-use (create a fresh tree per execution).
+    """
+
+    arity: int
+    counters: OpCounters
+
+    def rows(self) -> Iterator[tuple]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _emit(self, name: str, iterator: Iterable[tuple]) -> Iterator[tuple]:
+        for row in iterator:
+            self.counters.bump(name)
+            yield row
+
+
+class ScanOp(PhysicalOp):
+    """Scan a stored relation."""
+
+    def __init__(self, relation: Relation, counters: OpCounters):
+        self.relation = relation
+        self.arity = relation.arity
+        self.counters = counters
+
+    def rows(self) -> Iterator[tuple]:
+        return self._emit("scan", self.relation)
+
+
+class LiteralOp(PhysicalOp):
+    """Yield a fixed set of rows."""
+
+    def __init__(self, arity: int, rows: frozenset, counters: OpCounters):
+        self.arity = arity
+        self._rows = rows
+        self.counters = counters
+
+    def rows(self) -> Iterator[tuple]:
+        return self._emit("literal", self._rows)
+
+
+class FilterOp(PhysicalOp):
+    """Filter by a conjunction of conditions."""
+
+    def __init__(self, conds: frozenset[Condition], child: PhysicalOp,
+                 interpretation: Interpretation):
+        self.conds = conds
+        self.child = child
+        self.arity = child.arity
+        self.counters = child.counters
+        self.interpretation = interpretation
+
+    def _passes(self, row: tuple) -> bool:
+        for cond in self.conds:
+            left = eval_colexpr(cond.left, row, self.interpretation)
+            right = eval_colexpr(cond.right, row, self.interpretation)
+            if not compare_values(cond.op, left, right):
+                return False
+        return True
+
+    def rows(self) -> Iterator[tuple]:
+        return self._emit(
+            "filter", (row for row in self.child.rows() if self._passes(row))
+        )
+
+
+class MapOp(PhysicalOp):
+    """Extended projection with deduplication (set semantics)."""
+
+    def __init__(self, exprs: tuple[ColExpr, ...], child: PhysicalOp,
+                 interpretation: Interpretation):
+        self.exprs = exprs
+        self.child = child
+        self.arity = len(exprs)
+        self.counters = child.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+
+        def generate() -> Iterator[tuple]:
+            for row in self.child.rows():
+                out = tuple(
+                    eval_colexpr(e, row, self.interpretation) for e in self.exprs
+                )
+                if any(v is UNDEFINED for v in out):
+                    continue
+                if out not in seen:
+                    seen.add(out)
+                    yield out
+
+        return self._emit("map", generate())
+
+
+class HashJoinOp(PhysicalOp):
+    """Equi-join: builds a hash table on the right input.
+
+    ``key_pairs`` are (left column, right column) 1-based pairs; any
+    residual non-equi conditions are applied after the probe.
+    """
+
+    def __init__(self, key_pairs: tuple[tuple[int, int], ...],
+                 residual: frozenset[Condition],
+                 left: PhysicalOp, right: PhysicalOp,
+                 interpretation: Interpretation):
+        self.key_pairs = key_pairs
+        self.residual = residual
+        self.left = left
+        self.right = right
+        self.arity = left.arity + right.arity
+        self.counters = left.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        for row in self.right.rows():
+            key = tuple(row[rc - 1] for (_lc, rc) in self.key_pairs)
+            table.setdefault(key, []).append(row)
+
+        def probe() -> Iterator[tuple]:
+            for lrow in self.left.rows():
+                key = tuple(lrow[lc - 1] for (lc, _rc) in self.key_pairs)
+                for rrow in table.get(key, ()):
+                    combined = lrow + rrow
+                    if self._residual_ok(combined):
+                        yield combined
+
+        return self._emit("hash-join", probe())
+
+    def _residual_ok(self, row: tuple) -> bool:
+        for cond in self.residual:
+            left = eval_colexpr(cond.left, row, self.interpretation)
+            right = eval_colexpr(cond.right, row, self.interpretation)
+            if not compare_values(cond.op, left, right):
+                return False
+        return True
+
+
+class NestedLoopJoinOp(PhysicalOp):
+    """Theta-join fallback: materializes the right input once."""
+
+    def __init__(self, conds: frozenset[Condition],
+                 left: PhysicalOp, right: PhysicalOp,
+                 interpretation: Interpretation):
+        self.conds = conds
+        self.left = left
+        self.right = right
+        self.arity = left.arity + right.arity
+        self.counters = left.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        inner = list(self.right.rows())
+
+        def loop() -> Iterator[tuple]:
+            for lrow in self.left.rows():
+                for rrow in inner:
+                    combined = lrow + rrow
+                    ok = True
+                    for cond in self.conds:
+                        left = eval_colexpr(cond.left, combined, self.interpretation)
+                        right = eval_colexpr(cond.right, combined, self.interpretation)
+                        if not compare_values(cond.op, left, right):
+                            ok = False
+                            break
+                    if ok:
+                        yield combined
+
+        return self._emit("nl-join", loop())
+
+
+class EnumerateOp(PhysicalOp):
+    """Inverse application via a registered enumerator ([RBS87]/[Coh86]
+    extension): appends the derived values for each input row."""
+
+    def __init__(self, enumerator, inputs: tuple[ColExpr, ...],
+                 out_count: int, child: PhysicalOp,
+                 interpretation: Interpretation):
+        self.enumerator = enumerator
+        self.inputs = inputs
+        self.out_count = out_count
+        self.child = child
+        self.arity = child.arity + out_count
+        self.counters = child.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        def generate() -> Iterator[tuple]:
+            for row in self.child.rows():
+                values = [eval_colexpr(e, row, self.interpretation)
+                          for e in self.inputs]
+                if any(v is UNDEFINED for v in values):
+                    continue
+                for out in self.enumerator(*values):
+                    yield row + tuple(out)
+
+        return self._emit("enumerate", generate())
+
+
+class AntiJoinOp(PhysicalOp):
+    """Rows of the left input with NO right match under the conditions.
+
+    The translator's generalized difference (T15) emits
+    ``ctx - project(join(ctx, X))``, which evaluates ``ctx`` twice; the
+    planner recognizes the pattern and runs this operator instead,
+    evaluating ``ctx`` once.  Equi-conditions build a hash table on the
+    right; residual conditions are checked per candidate.
+    """
+
+    def __init__(self, key_pairs: tuple[tuple[int, int], ...],
+                 residual: frozenset[Condition],
+                 left: PhysicalOp, right: PhysicalOp,
+                 interpretation: Interpretation):
+        self.key_pairs = key_pairs
+        self.residual = residual
+        self.left = left
+        self.right = right
+        self.arity = left.arity
+        self.counters = left.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        materialized: list[tuple] = []
+        for row in self.right.rows():
+            materialized.append(row)
+            key = tuple(row[rc - 1] for (_lc, rc) in self.key_pairs)
+            table.setdefault(key, []).append(row)
+
+        def matches(lrow: tuple) -> bool:
+            if self.key_pairs:
+                key = tuple(lrow[lc - 1] for (lc, _rc) in self.key_pairs)
+                candidates = table.get(key, ())
+            else:
+                candidates = materialized
+            for rrow in candidates:
+                combined = lrow + rrow
+                ok = True
+                for cond in self.residual:
+                    left = eval_colexpr(cond.left, combined, self.interpretation)
+                    right = eval_colexpr(cond.right, combined, self.interpretation)
+                    if not compare_values(cond.op, left, right):
+                        ok = False
+                        break
+                if ok:
+                    return True
+            return False
+
+        return self._emit(
+            "anti-join",
+            (row for row in self.left.rows() if not matches(row)),
+        )
+
+
+class UnionOp(PhysicalOp):
+    """Deduplicating union."""
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp):
+        self.left = left
+        self.right = right
+        self.arity = left.arity
+        self.counters = left.counters
+
+    def rows(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+
+        def generate() -> Iterator[tuple]:
+            for source in (self.left, self.right):
+                for row in source.rows():
+                    if row not in seen:
+                        seen.add(row)
+                        yield row
+
+        return self._emit("union", generate())
+
+
+class DiffOp(PhysicalOp):
+    """Set difference: materializes the right side."""
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp):
+        self.left = left
+        self.right = right
+        self.arity = left.arity
+        self.counters = left.counters
+
+    def rows(self) -> Iterator[tuple]:
+        exclude = set(self.right.rows())
+        seen: set[tuple] = set()
+
+        def generate() -> Iterator[tuple]:
+            for row in self.left.rows():
+                if row not in exclude and row not in seen:
+                    seen.add(row)
+                    yield row
+
+        return self._emit("diff", generate())
+
+
+class AdomOp(PhysicalOp):
+    """Materialize the function-closed active domain (baseline plans)."""
+
+    def __init__(self, values: frozenset, counters: OpCounters):
+        self.values = values
+        self.arity = 1
+        self.counters = counters
+
+    def rows(self) -> Iterator[tuple]:
+        return self._emit("adom", ((v,) for v in self.values))

@@ -1,0 +1,151 @@
+"""Physical planning: algebra expressions to operator trees.
+
+The planner makes the two decisions a minimal executor needs:
+
+* **join algorithm** — a join whose conditions include at least one
+  plain column-to-column equality becomes a :class:`HashJoinOp` keyed on
+  all such pairs, with the remaining conditions applied as residual
+  filters; anything else falls back to :class:`NestedLoopJoinOp`;
+* **build side** — the right input is always the build side, matching
+  how the translator emits plans (context on the left, base relation on
+  the right; the context is usually the larger stream).
+
+Plans are rebuilt per execution (operators are single-use iterators).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import (
+    AdomK,
+    Enumerate,
+    Params,
+    AlgebraExpr,
+    Col,
+    Condition,
+    Diff,
+    Join,
+    Lit,
+    Product,
+    Project,
+    Rel,
+    Select,
+    Union,
+)
+from repro.core.schema import DatabaseSchema
+from repro.data.domain import term_closure
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.engine.operators import (
+    AdomOp,
+    AntiJoinOp,
+    DiffOp,
+    EnumerateOp,
+    FilterOp,
+    HashJoinOp,
+    LiteralOp,
+    MapOp,
+    NestedLoopJoinOp,
+    OpCounters,
+    PhysicalOp,
+    ScanOp,
+    UnionOp,
+)
+from repro.errors import EvaluationError
+
+__all__ = ["build_physical_plan"]
+
+
+def _split_join_conditions(conds: frozenset[Condition], left_arity: int
+                           ) -> tuple[tuple[tuple[int, int], ...], frozenset[Condition]]:
+    """Partition into hashable equi-pairs (left col, right col) and residual."""
+    pairs: list[tuple[int, int]] = []
+    residual: set[Condition] = set()
+    for cond in conds:
+        if (cond.op == "=" and isinstance(cond.left, Col)
+                and isinstance(cond.right, Col)):
+            a, b = cond.left.index, cond.right.index
+            if a > b:
+                a, b = b, a
+            if a <= left_arity < b:
+                pairs.append((a, b - left_arity))
+                continue
+        residual.add(cond)
+    return tuple(pairs), frozenset(residual)
+
+
+def _match_anti_join(node: Diff):
+    """Detect the translator's generalized-difference shape
+    ``Diff(e, Project(identity-over-e, Join(conds, e, X)))`` and return
+    ``(conds, e, X)``, or None."""
+    right = node.right
+    if not isinstance(right, Project):
+        return None
+    join = right.child
+    if not isinstance(join, Join) or join.left != node.left:
+        return None
+    identity = all(
+        isinstance(e, Col) and e.index == i + 1
+        for i, e in enumerate(right.exprs)
+    )
+    if not identity:
+        return None
+    # the projection must keep exactly the left columns; conditions may
+    # reference both sides (they are evaluated over the joined row)
+    return join.conds, node.left, join.right
+
+
+def build_physical_plan(expr: AlgebraExpr, instance: Instance,
+                        interpretation: Interpretation,
+                        schema: DatabaseSchema | None = None,
+                        counters: OpCounters | None = None) -> PhysicalOp:
+    """Compile an algebra expression into an executable operator tree."""
+    if counters is None:
+        counters = OpCounters()
+
+    def go(node: AlgebraExpr) -> PhysicalOp:
+        if isinstance(node, Rel):
+            return ScanOp(instance.relation(node.name), counters)
+        if isinstance(node, Lit):
+            return LiteralOp(node.arity, node.rows, counters)
+        if isinstance(node, Params):
+            raise EvaluationError(
+                "plan contains an unbound parameter relation; call "
+                "bind_parameters(plan, rows) before executing")
+        if isinstance(node, AdomK):
+            if schema is None:
+                raise EvaluationError("AdomK requires a schema")
+            base = set(instance.active_domain()) | set(node.extras)
+            closed = term_closure(base, node.level, interpretation, schema)
+            return AdomOp(frozenset(closed), counters)
+        if isinstance(node, Project):
+            return MapOp(node.exprs, go(node.child), interpretation)
+        if isinstance(node, Select):
+            return FilterOp(node.conds, go(node.child), interpretation)
+        if isinstance(node, Enumerate):
+            return EnumerateOp(interpretation.enumerator(node.enumerator),
+                               node.inputs, node.out_count, go(node.child),
+                               interpretation)
+        if isinstance(node, Join):
+            left = go(node.left)
+            right = go(node.right)
+            pairs, residual = _split_join_conditions(node.conds, left.arity)
+            if pairs:
+                return HashJoinOp(pairs, residual, left, right, interpretation)
+            return NestedLoopJoinOp(node.conds, left, right, interpretation)
+        if isinstance(node, Product):
+            return NestedLoopJoinOp(frozenset(), go(node.left), go(node.right),
+                                    interpretation)
+        if isinstance(node, Union):
+            return UnionOp(go(node.left), go(node.right))
+        if isinstance(node, Diff):
+            anti = _match_anti_join(node)
+            if anti is not None:
+                join_conds, left_expr, right_expr = anti
+                left = go(left_expr)
+                right = go(right_expr)
+                pairs, residual = _split_join_conditions(join_conds, left.arity)
+                return AntiJoinOp(pairs, residual, left, right, interpretation)
+            return DiffOp(go(node.left), go(node.right))
+        raise TypeError(f"not an algebra expression: {node!r}")
+
+    return go(expr)

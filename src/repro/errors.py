@@ -1,0 +1,98 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.  The sub-hierarchy follows
+the pipeline: building and parsing queries, static safety analysis,
+translation into the algebra, and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation or function is used inconsistently with its declaration.
+
+    Raised for arity mismatches, duplicate declarations, and references to
+    undeclared relation or function names when validating against a
+    :class:`repro.core.schema.DatabaseSchema`.
+    """
+
+
+class ParseError(ReproError):
+    """The textual query syntax is malformed."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            window = text[max(0, position - 20):position + 20]
+            message = f"{message} (at position {position}: ...{window!r}...)"
+        super().__init__(message)
+
+
+class FormulaError(ReproError):
+    """A formula or query AST is structurally invalid.
+
+    Examples: an ``Exists`` that binds no variables, an output term of a
+    query mentioning a variable that is not free in the body.
+    """
+
+
+class SafetyError(ReproError):
+    """A query fails a safety requirement (e.g. it is not em-allowed)."""
+
+
+class NotEmAllowedError(SafetyError):
+    """The query is not embedded-allowed, so translation is refused.
+
+    The ``reasons`` attribute lists the specific violations found
+    (unbounded free variables, quantified variables not bounded in their
+    scope), which is what a query compiler would surface to the user.
+    """
+
+    def __init__(self, message: str, reasons: list = None):
+        self.reasons = list(reasons or [])
+        if self.reasons:
+            message = message + "; " + "; ".join(str(r) for r in self.reasons)
+        super().__init__(message)
+
+
+class TranslationError(ReproError):
+    """The translation pipeline could not produce an algebra query.
+
+    For em-allowed input this indicates a bug (the paper proves the
+    algorithm total on em-allowed queries); it is raised deliberately by
+    the ablated rule sets used in the T10-necessity experiment.
+    """
+
+
+class TransformationStuckError(TranslationError):
+    """No transformation in the active rule set applies, yet the formula
+    is not in the target normal form.
+
+    Used by the E4 experiment: running the RANF driver with T10 removed
+    gets stuck on the q4 family exactly as the paper describes.
+    """
+
+
+class EvaluationError(ReproError):
+    """Evaluation of a calculus or algebra query failed.
+
+    Raised for unknown relation names, arity mismatches discovered at
+    run time, and function applications outside the supplied
+    interpretation.
+    """
+
+
+class UnsafeEvaluationError(EvaluationError):
+    """Direct calculus evaluation required an infinite range.
+
+    The reference evaluator ranges quantified variables over a finite
+    universe; this error signals that a caller asked for genuinely
+    unbounded evaluation (e.g. evaluating a non-domain-independent query
+    with ``range_policy='refuse'``).
+    """

@@ -1,0 +1,57 @@
+"""Finiteness dependencies (FinDs) and reduced covers.
+
+* :mod:`repro.finds.find` — the FinD value type and refinement order;
+* :mod:`repro.finds.closure` — [BB79] attribute closure, entailment,
+  exponential reference oracles;
+* :mod:`repro.finds.covers` — reduced covers and the operations the
+  ``bd`` analysis needs (union, closure-intersection, projection).
+"""
+
+from repro.finds.annotations import (
+    AnnotationRegistry,
+    FunctionAnnotation,
+    nonneg_sum_registry,
+)
+from repro.finds.closure import (
+    attribute_closure,
+    bounded_variables,
+    closure_finds,
+    derives_brute_force,
+    entails,
+    entails_all,
+    equivalent_covers,
+)
+from repro.finds.covers import (
+    EXACT_LIMIT,
+    cover_intersection,
+    cover_project,
+    cover_size,
+    cover_union,
+    mentioned_variables,
+    reduce_cover,
+)
+from repro.finds.find import FinD, find, format_finds, refines
+
+__all__ = [
+    "FunctionAnnotation",
+    "AnnotationRegistry",
+    "nonneg_sum_registry",
+    "FinD",
+    "find",
+    "refines",
+    "format_finds",
+    "attribute_closure",
+    "entails",
+    "entails_all",
+    "equivalent_covers",
+    "bounded_variables",
+    "closure_finds",
+    "derives_brute_force",
+    "reduce_cover",
+    "cover_union",
+    "cover_intersection",
+    "cover_project",
+    "cover_size",
+    "mentioned_variables",
+    "EXACT_LIMIT",
+]

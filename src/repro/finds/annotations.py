@@ -1,0 +1,140 @@
+"""Finiteness annotations for scalar functions ([RBS87], [Coh86]).
+
+The paper's conclusion points beyond its own framework: *"if u, v, w
+range over non-negative integers, then R(w) and u + v = w bounds all of
+u, v, w; in this case techniques such as those found in [RBS87] might
+be applied."*  The related system of [Coh86] expresses the same
+information as annotations like ``PERSON: {1} yields {2}``.
+
+This module implements that extension.  A :class:`FunctionAnnotation`
+declares, for a scalar function ``f`` of arity ``n``, that once the
+*positions* in ``known`` are fixed, only finitely many values remain
+for the positions in ``derived`` — position ``0`` denotes the function
+**result**, positions ``1..n`` its arguments.  Examples::
+
+    # the default (always available, not declared): args determine result
+    #   known = {1, ..., n}, derived = {0}
+
+    # "w yields u, v" for u + v = w over the non-negative integers:
+    FunctionAnnotation("plus", 2, known={0}, derived={1, 2},
+                       enumerator="plus_decompositions")
+
+    # subtraction as a partial inverse: result and first arg give the second
+    FunctionAnnotation("plus", 2, known={0, 1}, derived={2},
+                       enumerator="plus_second_arg")
+
+Each annotation names an **enumerator**, a host-language callable
+registered on the :class:`~repro.data.interpretation.Interpretation`.
+Called with the known values (result first if position 0 is known, then
+arguments in position order), it must yield every tuple of derived
+values (in position order) making ``f(args) = result`` true — the
+contract [Coh86]'s compiler relies on, realized in the algebra by the
+:class:`~repro.algebra.ast.Enumerate` operator.
+
+Annotations are strictly opt-in: without a registry the library
+implements exactly the paper's framework (no inverses — the difference
+the paper highlights against the DB-windows of [BM92a]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+__all__ = ["FunctionAnnotation", "AnnotationRegistry", "nonneg_sum_registry"]
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionAnnotation:
+    """``known`` positions finitely determine ``derived`` positions of
+    an application of ``function`` (0 = result, 1..arity = arguments)."""
+
+    function: str
+    arity: int
+    known: frozenset[int]
+    derived: frozenset[int]
+    enumerator: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.known, frozenset):
+            object.__setattr__(self, "known", frozenset(self.known))
+        if not isinstance(self.derived, frozenset):
+            object.__setattr__(self, "derived", frozenset(self.derived))
+        positions = set(range(self.arity + 1))
+        if not self.known <= positions or not self.derived <= positions:
+            raise SchemaError(
+                f"annotation positions must lie in 0..{self.arity}")
+        if self.known & self.derived:
+            raise SchemaError("known and derived positions must be disjoint")
+        if not self.derived:
+            raise SchemaError("annotation must derive at least one position")
+        if not self.enumerator:
+            raise SchemaError("annotation needs an enumerator name")
+
+    @property
+    def known_order(self) -> tuple[int, ...]:
+        """Known positions in the order the enumerator receives them."""
+        return tuple(sorted(self.known))
+
+    @property
+    def derived_order(self) -> tuple[int, ...]:
+        """Derived positions in the order the enumerator yields them."""
+        return tuple(sorted(self.derived))
+
+    def __str__(self) -> str:
+        k = ",".join(str(p) for p in self.known_order) or "0/"
+        d = ",".join(str(p) for p in self.derived_order)
+        return f"{self.function}: {{{k}}} yields {{{d}}} via {self.enumerator}"
+
+
+class AnnotationRegistry:
+    """An immutable collection of annotations, indexed by function name.
+
+    Hashable, so it can participate in the memoization of ``bd``.
+    """
+
+    def __init__(self, annotations: Iterable[FunctionAnnotation] = ()):
+        self._annotations = tuple(annotations)
+        self._by_function: dict[str, tuple[FunctionAnnotation, ...]] = {}
+        for ann in self._annotations:
+            self._by_function.setdefault(ann.function, ())
+            self._by_function[ann.function] += (ann,)
+
+    def for_function(self, name: str) -> tuple[FunctionAnnotation, ...]:
+        return self._by_function.get(name, ())
+
+    def __iter__(self) -> Iterator[FunctionAnnotation]:
+        return iter(self._annotations)
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AnnotationRegistry):
+            return NotImplemented
+        return set(self._annotations) == set(other._annotations)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._annotations))
+
+    def __repr__(self) -> str:
+        return f"AnnotationRegistry({', '.join(str(a) for a in self._annotations)})"
+
+
+def nonneg_sum_registry() -> AnnotationRegistry:
+    """The paper's own example, packaged: ``plus`` over the non-negative
+    integers with full inversion annotations.
+
+    The matching enumerators (register on the interpretation)::
+
+        "plus_decompositions": w -> all (u, v) with u + v = w, u, v >= 0
+        "plus_second_arg":     (w, u) -> the single v = w - u when v >= 0
+    """
+    return AnnotationRegistry([
+        FunctionAnnotation("plus", 2, frozenset({0}), frozenset({1, 2}),
+                           "plus_decompositions"),
+        FunctionAnnotation("plus", 2, frozenset({0, 1}), frozenset({2}),
+                           "plus_second_arg"),
+    ])

@@ -1,0 +1,146 @@
+"""Closure and entailment for FinD sets.
+
+FinDs obey the functional-dependency inference rules, so entailment is
+decided by the attribute-set closure algorithm of [BB79] (also [Ull88]),
+which the paper invokes both to define ``bd``-entailment and to sort
+conjunctions during the RANF transformation.
+
+``attribute_closure`` is the linear-ish workhorse; ``closure_finds`` and
+``derives_brute_force`` are exponential reference implementations used
+only by tests to validate the fast paths.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable
+
+from repro.finds.find import FinD
+
+__all__ = [
+    "attribute_closure",
+    "entails",
+    "entails_all",
+    "equivalent_covers",
+    "bounded_variables",
+    "closure_finds",
+    "derives_brute_force",
+]
+
+
+def attribute_closure(attrs: Iterable[str], finds: Iterable[FinD]) -> frozenset[str]:
+    """The closure of ``attrs`` under ``finds`` ([BB79]).
+
+    Returns the largest set X with ``finds |= attrs -> X``.  Iterates to
+    a fixed point; each FinD fires at most once.
+    """
+    closure: set[str] = set(attrs)
+    pending = list(finds)
+    changed = True
+    while changed and pending:
+        changed = False
+        remaining: list[FinD] = []
+        for dep in pending:
+            if dep.lhs <= closure:
+                if not dep.rhs <= closure:
+                    closure |= dep.rhs
+                    changed = True
+            else:
+                remaining.append(dep)
+        pending = remaining
+    return frozenset(closure)
+
+
+def entails(finds: Iterable[FinD], dep: FinD) -> bool:
+    """``finds |= dep`` — decided via attribute closure."""
+    finds = list(finds)
+    return dep.rhs <= attribute_closure(dep.lhs, finds)
+
+
+def entails_all(finds: Iterable[FinD], deps: Iterable[FinD]) -> bool:
+    """``finds |= dep`` for every ``dep`` in ``deps``."""
+    finds = list(finds)
+    return all(entails(finds, dep) for dep in deps)
+
+
+def equivalent_covers(a: Iterable[FinD], b: Iterable[FinD]) -> bool:
+    """Two FinD sets are equivalent when each entails the other."""
+    a, b = list(a), list(b)
+    return entails_all(a, b) and entails_all(b, a)
+
+
+def bounded_variables(finds: Iterable[FinD]) -> frozenset[str]:
+    """Variables X with ``finds |= {} -> X`` — bounded outright.
+
+    This generalizes the ``gen`` operator of [GT91]: in the function-free
+    case every FinD produced by ``bd`` has an empty left side, and the
+    bounded variables are exactly the generated ones.
+    """
+    return attribute_closure((), finds)
+
+
+# ---------------------------------------------------------------------------
+# Exponential reference implementations (test oracles)
+# ---------------------------------------------------------------------------
+
+def _subsets(items: frozenset[str]):
+    ordered = sorted(items)
+    return chain.from_iterable(combinations(ordered, r) for r in range(len(ordered) + 1))
+
+
+def closure_finds(finds: Iterable[FinD], universe: Iterable[str]) -> frozenset[FinD]:
+    """Every non-trivial FinD over ``universe`` implied by ``finds``.
+
+    Exponential in ``|universe|``; a reference oracle for tests and for
+    the cover-size benchmark (E5), never used on the hot path.
+    """
+    finds = list(finds)
+    universe = frozenset(universe)
+    out: set[FinD] = set()
+    for lhs in _subsets(universe):
+        lhs_set = frozenset(lhs)
+        closed = attribute_closure(lhs_set, finds) & universe
+        rhs = closed - lhs_set
+        if rhs:
+            out.add(FinD(lhs_set, rhs))
+    return frozenset(out)
+
+
+def derives_brute_force(finds: Iterable[FinD], dep: FinD, max_rounds: int = 6) -> bool:
+    """Entailment by saturating Armstrong's rules (reflexivity,
+    augmentation restricted to mentioned variables, transitivity,
+    union, decomposition).  An independent oracle for property tests
+    against :func:`entails`.
+    """
+    finds = set(finds)
+    universe = dep.variables | frozenset().union(*(f.variables for f in finds)) \
+        if finds else dep.variables
+    if dep.is_trivial():
+        return True
+    known: set[FinD] = set(finds)
+    for _ in range(max_rounds):
+        new: set[FinD] = set()
+        listing = list(known)
+        # transitivity + union via pairwise combination
+        for a in listing:
+            for b in listing:
+                if b.lhs <= a.lhs | a.rhs:
+                    candidate = FinD(a.lhs, a.rhs | b.rhs)
+                    if candidate not in known and not candidate.is_trivial():
+                        new.add(candidate)
+        # augmentation (only by variables of the universe, which suffices)
+        for a in listing:
+            for v in universe:
+                candidate = FinD(a.lhs | {v}, a.rhs | {v})
+                if candidate not in known and not candidate.is_trivial():
+                    new.add(candidate)
+        if not new:
+            break
+        known |= new
+        for k in known:
+            if k.lhs <= dep.lhs and dep.rhs <= k.rhs | dep.lhs:
+                return True
+    for k in known:
+        if k.lhs <= dep.lhs and dep.rhs <= k.rhs | dep.lhs:
+            return True
+    return False

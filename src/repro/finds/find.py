@@ -1,0 +1,93 @@
+"""Finiteness dependencies (FinDs).
+
+A FinD ``W -> U`` over variable names (adopted and generalized from
+[RBS87]) asserts, of a set of valuations, that once the variables of
+``W`` are fixed there are only finitely many possible value combinations
+for the variables of ``U``.  The special case ``{} -> U`` says the
+variables of ``U`` range over a finite set outright.
+
+FinDs satisfy the same inference rules as functional dependencies
+(reflexivity, augmentation, transitivity — the paper cites [Ull88] for
+this), which is why the [BB79] attribute-closure algorithm applies.
+
+This module defines the :class:`FinD` value type and the *refinement*
+partial order of the paper (Section 8, cf. [Arm74])::
+
+    W -> U  refines  X -> Y   iff   W <= X  and  Y <= U
+
+i.e. a refining dependency assumes less and concludes more, so it
+implies every dependency it refines.  (Example from the paper:
+``x -> zw`` refines ``xy -> z``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["FinD", "find", "refines", "format_finds"]
+
+
+@dataclass(frozen=True, slots=True)
+class FinD:
+    """A finiteness dependency ``lhs -> rhs`` over variable names."""
+
+    lhs: frozenset[str]
+    rhs: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lhs, frozenset):
+            object.__setattr__(self, "lhs", frozenset(self.lhs))
+        if not isinstance(self.rhs, frozenset):
+            object.__setattr__(self, "rhs", frozenset(self.rhs))
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """All variables mentioned by the dependency."""
+        return self.lhs | self.rhs
+
+    def is_trivial(self) -> bool:
+        """True when rhs is contained in lhs (implied by reflexivity)."""
+        return self.rhs <= self.lhs
+
+    def mentions(self, names: Iterable[str]) -> bool:
+        """True when any of ``names`` occurs in the dependency.
+
+        Rules B10/B11 of ``bd`` discard dependencies mentioning the
+        quantified variables; this is the test they use.
+        """
+        names = set(names)
+        return bool(names & (self.lhs | self.rhs))
+
+    def __str__(self) -> str:
+        left = ",".join(sorted(self.lhs)) if self.lhs else "0"
+        right = ",".join(sorted(self.rhs)) if self.rhs else "0"
+        return f"{left} -> {right}"
+
+    def __repr__(self) -> str:
+        return f"FinD({set(self.lhs) or '{}'} -> {set(self.rhs) or '{}'})"
+
+
+def find(lhs: Iterable[str] | str, rhs: Iterable[str] | str) -> FinD:
+    """Shorthand constructor: ``find("x", "y z")`` or ``find([], ["x"])``.
+
+    Strings are split on whitespace; empty string or empty iterable is
+    the empty set.
+    """
+    def to_set(spec) -> frozenset[str]:
+        if isinstance(spec, str):
+            return frozenset(spec.split())
+        return frozenset(spec)
+
+    return FinD(to_set(lhs), to_set(rhs))
+
+
+def refines(a: FinD, b: FinD) -> bool:
+    """The paper's refinement order: ``a`` refines ``b`` iff ``a.lhs <= b.lhs``
+    and ``b.rhs <= a.rhs``.  Reflexive, antisymmetric, transitive."""
+    return a.lhs <= b.lhs and b.rhs <= a.rhs
+
+
+def format_finds(finds: Iterable[FinD]) -> str:
+    """Stable human-readable rendering of a FinD set."""
+    return "{" + "; ".join(sorted(str(f) for f in finds)) + "}"

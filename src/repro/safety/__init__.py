@@ -1,0 +1,42 @@
+"""Static safety analysis: pushnot, bd, gen/allowed, em-allowed.
+
+* :mod:`repro.safety.pushnot` — the negation-pushing operator;
+* :mod:`repro.safety.bd` — FinDs guaranteed by a formula (rules B1–B11);
+* :mod:`repro.safety.gen` — the classic [GT91] ``gen`` / ``allowed``;
+* :mod:`repro.safety.em_allowed` — the paper's em-allowed criterion;
+* :mod:`repro.safety.comparators` — [AB88] range restriction and
+  [Top91] safety, for the hierarchy experiment.
+"""
+
+from repro.safety.bd import bd, bd_bounded, bd_naive, clear_bd_cache
+from repro.safety.comparators import range_restricted, safe_top91
+from repro.safety.em_allowed import (
+    em_allowed,
+    em_allowed_for,
+    em_allowed_query,
+    em_allowed_violations,
+    quantifier_violations,
+    require_em_allowed,
+)
+from repro.safety.gen import allowed, allowed_violations, gen
+from repro.safety.pushnot import pushnot, pushnot_applicable
+
+__all__ = [
+    "pushnot",
+    "pushnot_applicable",
+    "bd",
+    "bd_naive",
+    "bd_bounded",
+    "clear_bd_cache",
+    "gen",
+    "allowed",
+    "allowed_violations",
+    "em_allowed",
+    "em_allowed_for",
+    "em_allowed_query",
+    "em_allowed_violations",
+    "quantifier_violations",
+    "require_em_allowed",
+    "range_restricted",
+    "safe_top91",
+]

@@ -1,0 +1,241 @@
+"""The ``bd`` function: FinDs syntactically guaranteed by a formula.
+
+``bd(phi)`` returns a set of finiteness dependencies satisfied by every
+set of valuations making ``phi`` true (Section 6): ``phi |= bd(phi)``.
+It generalizes the ``gen`` operator of [GT91] — in the function-free
+case every emitted dependency has an empty left side and the bounded
+variables coincide with the generated ones.
+
+Rules (the paper's B1–B11 table; see DESIGN.md for the reconstruction
+notes — B10/B11 are quoted verbatim in the surviving text, the others
+are recovered from the examples and the [GT91] correspondence):
+
+B1   ``R(t1, ..., tn)``: ``{} -> V`` where ``V`` is the set of variables
+     occurring at *top level* (not under a function symbol) in the
+     ``ti`` — a finite relation bounds the values of its fields, but a
+     variable under ``f`` cannot be recovered without an inverse.
+B2   ``t = t'`` with ``t`` a variable ``x``: ``vars(t') -> {x}``
+     (symmetrically when ``t'`` is a variable; both directions for
+     ``x = y``).  E.g. ``bd(f(x) = y) = {x -> y}``.
+B3   ``t = t'`` with neither side a bare variable: no information.
+B4   ``~phi``: ``bd(pushnot(~phi))`` when pushnot applies; otherwise no
+     information.  In particular inequalities ``t != t'`` are negative
+     and contribute nothing, while ``~(t != t')`` pushes to ``t = t'``.
+B5   conjunction: union of the children's dependencies.
+B6   disjunction: dependencies entailed by *every* child (closure
+     intersection, computed on reduced covers).
+B10  ``exists x... (phi)``: close ``bd(phi)``, then discard every
+     dependency in which a quantified variable occurs (projection).
+B11  ``forall x... (phi)``: the same projection applied to ``bd(phi)``.
+
+The result is always a *reduced cover* (Section 8): the paper calls
+this ``rbd`` and proves the translation's conjunction-sorting runs in
+time linear in its length.  ``bd_naive`` computes the same information
+carrying full closures instead — exponentially larger, used only by the
+E5 benchmark as the comparison point.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.formulas import (
+    And,
+    Compare,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+)
+from repro.core.terms import Func, Var, top_level_variables, variables as term_variables
+from repro.finds.closure import attribute_closure, bounded_variables
+from repro.finds.covers import (
+    cover_intersection,
+    cover_project,
+    cover_union,
+    mentioned_variables,
+    reduce_cover,
+)
+from repro.finds.annotations import AnnotationRegistry
+from repro.finds.find import FinD
+
+__all__ = ["bd", "bd_naive", "bd_bounded", "clear_bd_cache",
+           "annotation_finds"]
+
+
+def annotation_finds(formula: Equals,
+                     registry: AnnotationRegistry) -> frozenset[FinD]:
+    """Extra dependencies from function annotations ([RBS87]/[Coh86]
+    extension): for an atom ``f(t1..tn) = t0`` and an annotation
+    ``known yields derived`` of ``f``, the variables of the known-position
+    terms finitely determine the bare variables at derived positions."""
+    out: set[FinD] = set()
+    for fterm, result in ((formula.left, formula.right),
+                          (formula.right, formula.left)):
+        if not isinstance(fterm, Func):
+            continue
+        for ann in registry.for_function(fterm.name):
+            if ann.arity != fterm.arity:
+                continue
+            position_terms = {0: result}
+            for i, arg in enumerate(fterm.args, start=1):
+                position_terms[i] = arg
+            lhs: set[str] = set()
+            for p in ann.known:
+                lhs |= term_variables(position_terms[p])
+            rhs = frozenset(
+                position_terms[p].name
+                for p in ann.derived
+                if isinstance(position_terms[p], Var)
+            )
+            if rhs and not rhs <= lhs:
+                out.add(FinD(frozenset(lhs), rhs))
+    return frozenset(out)
+
+
+def _atom_finds(formula: RelAtom | Equals | Compare) -> frozenset[FinD]:
+    """Rules B1–B3: dependencies of a single positive atom.
+
+    Comparison atoms (Section 9(d)) carry no bounding information —
+    like equalities between two non-variable terms.
+    """
+    if isinstance(formula, Compare):
+        return frozenset()
+    if isinstance(formula, RelAtom):
+        bounded: set[str] = set()
+        for t in formula.terms:
+            bounded |= top_level_variables(t)
+        if bounded:
+            return frozenset({FinD(frozenset(), frozenset(bounded))})
+        return frozenset()
+    # Equality atom.
+    out: set[FinD] = set()
+    left, right = formula.left, formula.right
+    if isinstance(left, Var):
+        rhs = frozenset({left.name})
+        lhs = term_variables(right)
+        if not rhs <= lhs:
+            out.add(FinD(lhs, rhs))
+    if isinstance(right, Var):
+        rhs = frozenset({right.name})
+        lhs = term_variables(left)
+        if not rhs <= lhs:
+            out.add(FinD(lhs, rhs))
+    return frozenset(out)
+
+
+@lru_cache(maxsize=8192)
+def _bd_cached(formula: Formula,
+               annotations: AnnotationRegistry | None) -> frozenset[FinD]:
+    from repro.safety.pushnot import pushnot, pushnot_applicable
+
+    if isinstance(formula, (RelAtom, Equals, Compare)):
+        finds = set(_atom_finds(formula))
+        if annotations is not None and isinstance(formula, Equals):
+            finds |= annotation_finds(formula, annotations)
+        return reduce_cover(finds)
+    if isinstance(formula, Not):
+        if pushnot_applicable(formula):
+            return _bd_cached(pushnot(formula), annotations)
+        return frozenset()
+    if isinstance(formula, And):
+        return cover_union(*(_bd_cached(c, annotations) for c in formula.children))
+    if isinstance(formula, Or):
+        return cover_intersection(
+            [_bd_cached(c, annotations) for c in formula.children])
+    if isinstance(formula, Exists):
+        return cover_project(_bd_cached(formula.body, annotations), formula.vars)
+    if isinstance(formula, Forall):
+        return cover_project(_bd_cached(formula.body, annotations), formula.vars)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def bd(formula: Formula,
+       annotations: AnnotationRegistry | None = None) -> frozenset[FinD]:
+    """The reduced cover of dependencies guaranteed by ``formula``.
+
+    ``annotations`` activates the [RBS87]/[Coh86] extension: extra
+    dependencies from declared function annotations (inverse
+    information the paper's own framework deliberately excludes).
+    Results are memoized (formulas and registries are immutable and
+    hashable); call :func:`clear_bd_cache` between unrelated workloads
+    if memory matters.
+    """
+    return _bd_cached(formula, annotations)
+
+
+def bd_bounded(formula: Formula,
+               annotations: AnnotationRegistry | None = None) -> frozenset[str]:
+    """Variables bounded outright by ``formula``: the closure of the
+    empty set under ``bd(formula)`` — the generalization of ``gen``."""
+    return bounded_variables(bd(formula, annotations))
+
+
+def clear_bd_cache() -> None:
+    """Drop the bd memo table (benchmarks call this between runs)."""
+    _bd_cached.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# Naive variant: full closures instead of reduced covers (E5 baseline)
+# ---------------------------------------------------------------------------
+
+def bd_naive(formula: Formula) -> frozenset[FinD]:
+    """``bd`` carrying *full closures* (every implied FinD over the
+    mentioned variables) at each step instead of reduced covers.
+
+    Logically equivalent to :func:`bd` (mutual entailment) but the
+    intermediate sets are exponentially larger; this is the baseline the
+    reduced covers of Section 8 are measured against (benchmark E5).
+    Intended for small formulas only.
+    """
+    from repro.finds.closure import closure_finds
+    from repro.safety.pushnot import pushnot, pushnot_applicable
+
+    def full(finds: frozenset[FinD]) -> frozenset[FinD]:
+        return closure_finds(finds, mentioned_variables(finds))
+
+    if isinstance(formula, (RelAtom, Equals, Compare)):
+        return full(_atom_finds(formula))
+    if isinstance(formula, Not):
+        if pushnot_applicable(formula):
+            return bd_naive(pushnot(formula))
+        return frozenset()
+    if isinstance(formula, And):
+        combined: set[FinD] = set()
+        for child in formula.children:
+            combined |= bd_naive(child)
+        return full(frozenset(combined))
+    if isinstance(formula, Or):
+        children = [bd_naive(c) for c in formula.children]
+        universe: frozenset[str] = frozenset()
+        for c in children:
+            universe |= mentioned_variables(c)
+        from repro.finds.closure import closure_finds as _cf
+        first = _cf(children[0], universe) | children[0]
+        out: set[FinD] = set()
+        for dep in first:
+            # intersect the right side with what every other child
+            # derives from the same left side
+            common = set(dep.rhs)
+            for other in children[1:]:
+                common &= attribute_closure(dep.lhs, other)
+            common -= dep.lhs
+            if common:
+                out.add(FinD(dep.lhs, frozenset(common)))
+        return frozenset(out)
+    if isinstance(formula, (Exists, Forall)):
+        inner = bd_naive(formula.body)
+        dropped = set(formula.vars)
+        out = set()
+        for dep in inner:
+            if dep.lhs & dropped:
+                continue
+            rhs = dep.rhs - dropped
+            if rhs:
+                out.add(FinD(dep.lhs, frozenset(rhs)))
+        return frozenset(out)
+    raise TypeError(f"not a formula: {formula!r}")

@@ -1,0 +1,244 @@
+"""Related safety criteria the paper compares against (Section 2).
+
+These are *comparators* for the E8 hierarchy experiment, reconstructed
+to match the classifications the paper states:
+
+* :func:`range_restricted` — the [AB88] notion.  Every variable must be
+  grounded by a positive database-atom occurrence (at top level), an
+  equality with a constant, or an equality chain to such a variable.
+  Equalities through *function terms* do not ground (no inverses are
+  assumed), which is why the paper's example
+  ``R(x) & exists y (f(x) = y & ~R(y))`` is em-allowed but **not**
+  range-restricted.
+
+* :func:`safe_top91` — the [Top91] notion of safe calculus queries,
+  which uses FinDs and "limited" variables.  The paper states it is
+  strictly weaker than em-allowed, witnessed by
+  ``q5 = {x,y | (R(x) & f(x)=y) | (S(y) & g(y)=x)}``: each disjunct
+  bounds the free variables in a *different order* (x before y versus
+  y before x), and [Top91]'s limitation requires one global order.  Our
+  reconstruction implements exactly that: safe = em-allowed plus the
+  existence of a single linear order of the free variables under which
+  every disjunct, everywhere in the formula, bounds its variables
+  consistently.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.core.formulas import (
+    And,
+    Compare,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    free_variables,
+    subformulas,
+)
+from repro.core.terms import Var, top_level_variables
+from repro.safety.em_allowed import em_allowed
+from repro.safety.pushnot import pushnot, pushnot_applicable
+
+__all__ = ["range_restricted", "safe_top91"]
+
+
+def _grounded(formula: Formula) -> frozenset[str]:
+    """Variables grounded in the [AB88] range-restriction sense.
+
+    Like ``gen`` but with equality propagation only between *variables*
+    and from constants — function terms never ground anything.
+    """
+    if isinstance(formula, RelAtom):
+        out: set[str] = set()
+        for t in formula.terms:
+            out |= top_level_variables(t)
+        return frozenset(out)
+    if isinstance(formula, Compare):
+        return frozenset()
+    if isinstance(formula, Equals):
+        left, right = formula.left, formula.right
+        if isinstance(left, Var) and not isinstance(right, Var) \
+                and not _term_has_variables(right):
+            return frozenset({left.name})
+        if isinstance(right, Var) and not isinstance(left, Var) \
+                and not _term_has_variables(left):
+            return frozenset({right.name})
+        return frozenset()
+    if isinstance(formula, Not):
+        if pushnot_applicable(formula):
+            return _grounded(pushnot(formula))
+        return frozenset()
+    if isinstance(formula, And):
+        grounded: set[str] = set()
+        for c in formula.children:
+            grounded |= _grounded(c)
+        pairs = [
+            (c.left.name, c.right.name)
+            for c in formula.children
+            if isinstance(c, Equals)
+            and isinstance(c.left, Var) and isinstance(c.right, Var)
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for a, b in pairs:
+                if a in grounded and b not in grounded:
+                    grounded.add(b)
+                    changed = True
+                if b in grounded and a not in grounded:
+                    grounded.add(a)
+                    changed = True
+        return frozenset(grounded)
+    if isinstance(formula, Or):
+        sets = [_grounded(c) for c in formula.children]
+        out = set(sets[0])
+        for s in sets[1:]:
+            out &= s
+        return frozenset(out)
+    if isinstance(formula, (Exists, Forall)):
+        return _grounded(formula.body) - set(formula.vars)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _term_has_variables(term) -> bool:
+    """True when a (non-variable) term contains any variable — such a
+    term cannot ground the other side in the [AB88] sense."""
+    from repro.core.terms import variables as term_variables
+    return bool(term_variables(term))
+
+
+def range_restricted(formula: Formula) -> bool:
+    """[AB88]-style range restriction (see module docstring)."""
+    if free_variables(formula) - _grounded(formula):
+        return False
+    for sub in subformulas(formula):
+        if isinstance(sub, Exists):
+            if set(sub.vars) - _grounded(sub.body):
+                return False
+        elif isinstance(sub, Forall):
+            if set(sub.vars) - _grounded(Not(sub.body)):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Top91-style safe
+# ---------------------------------------------------------------------------
+
+def _direct_finds(formula: Formula) -> frozenset:
+    """Atom-level FinDs gathered *without* reduction or closure.
+
+    Union for conjunction, pushnot for negation, projection for
+    quantifiers; for disjunction, a dependency is kept only when every
+    child contains one refining it.  The point of keeping the raw
+    dependencies is that they record the *direction* in which each atom
+    derives a variable — the information [Top91]'s limitation order is
+    sensitive to and that reduced covers deliberately normalize away.
+    """
+    from repro.finds.find import refines
+    from repro.safety.bd import _atom_finds
+
+    if isinstance(formula, (RelAtom, Equals, Compare)):
+        return _atom_finds(formula)
+    if isinstance(formula, Not):
+        if pushnot_applicable(formula):
+            return _direct_finds(pushnot(formula))
+        return frozenset()
+    if isinstance(formula, And):
+        out: set = set()
+        for c in formula.children:
+            out |= _direct_finds(c)
+        return frozenset(out)
+    if isinstance(formula, Or):
+        child_sets = [_direct_finds(c) for c in formula.children]
+        candidates = set().union(*child_sets)
+        return frozenset(
+            d for d in candidates
+            if all(any(refines(e, d) for e in s) for s in child_sets)
+        )
+    if isinstance(formula, (Exists, Forall)):
+        inner = _direct_finds(formula.body)
+        return frozenset(d for d in inner if not d.mentions(formula.vars))
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _order_consistent(formula: Formula, order: tuple[str, ...]) -> bool:
+    """Every disjunct, at every disjunction of the formula, must derive
+    each ordered variable by a *single direct* dependency whose inputs
+    all precede it in ``order`` — no transitive closure across later
+    variables.  Variables already limited by the enclosing conjunction
+    context are exempt (they arrive limited, as in [Top91]).  This is
+    what rejects q5: its two disjuncts derive ``x``/``y`` in opposite
+    directions, so no global order works."""
+    from repro.finds.closure import attribute_closure
+
+    position = {name: i for i, name in enumerate(order)}
+
+    def derives_in_order(sub: Formula, pre_settled: frozenset[str]) -> bool:
+        relevant = [v for v in free_variables(sub)
+                    if v in position and v not in pre_settled]
+        deps = _direct_finds(sub)
+        settled: set[str] = set(pre_settled)
+        for name in sorted(relevant, key=lambda n: position[n]):
+            hit = any(name in d.rhs and d.lhs <= settled for d in deps)
+            if not hit:
+                return False
+            settled.add(name)
+        return True
+
+    def walk(sub: Formula, context) -> bool:
+        """``context`` is a tuple of FinDs limited by the enclosing
+        conjunction siblings."""
+        if isinstance(sub, (RelAtom, Equals, Compare)):
+            return True
+        if isinstance(sub, Not):
+            if pushnot_applicable(sub):
+                return walk(pushnot(sub), context)
+            return True
+        if isinstance(sub, And):
+            ok = True
+            for i, child in enumerate(sub.children):
+                sibling_finds: set = set(context)
+                for j, other in enumerate(sub.children):
+                    if j != i:
+                        sibling_finds |= _direct_finds(other)
+                ok = ok and walk(child, tuple(sibling_finds))
+            return ok
+        if isinstance(sub, Or):
+            pre = frozenset(attribute_closure((), context))
+            for child in sub.children:
+                if not derives_in_order(child, pre):
+                    return False
+                if not walk(child, context):
+                    return False
+            return True
+        if isinstance(sub, (Exists, Forall)):
+            kept = tuple(d for d in context if not d.mentions(sub.vars))
+            return walk(sub.body, kept)
+        raise TypeError(f"not a formula: {sub!r}")
+
+    return walk(formula, ())
+
+
+def safe_top91(formula: Formula, max_vars: int = 7) -> bool:
+    """[Top91]-style safety: em-allowed *and* a single global order of
+    the free variables works for every disjunct (see module docstring).
+
+    ``max_vars`` caps the permutation search; realistic queries have
+    few free variables.
+    """
+    if not em_allowed(formula):
+        return False
+    names = sorted(free_variables(formula))
+    if not names:
+        return True
+    if len(names) > max_vars:
+        raise ValueError(
+            f"safe_top91 permutation search capped at {max_vars} free variables"
+        )
+    return any(_order_consistent(formula, order) for order in permutations(names))

@@ -1,0 +1,134 @@
+"""The *embedded allowed* (em-allowed) criterion (Section 6).
+
+A query ``{ t... | phi }`` is **em-allowed** when
+
+1. ``bd(phi) |= {} -> free(phi)`` — the free variables are bounded
+   outright, so the answer set is finite; and
+2. for every subformula ``exists X (psi)``:
+   ``bd(psi) |= free(exists X psi) -> X`` — once the context has pinned
+   the subformula's free variables, only finitely many values remain
+   for the quantified ones; and
+3. for every subformula ``forall X (psi)``:
+   ``bd(~psi) |= free(forall X psi) -> X`` — dually, via the negated
+   body (a universal quantifier is evaluated as a negated existential).
+
+The *relative* conditions in (2)/(3) are what admit the paper's
+flagship example ``R(x) & exists y (f(x) = y & ~R(y))`` — ``y`` is not
+bounded outright inside the quantifier (``bd = {x -> y}``), but it is
+bounded once ``x`` is, and the RANF transformations (T14) push the
+bounding context inside before the algebra is emitted.  In the
+function-free case conditions (2)/(3) relax [GT91]'s ``allowed``
+exactly by permitting equality chains from a subformula's free
+variables; every [GT91]-allowed formula is em-allowed (tested in E8).
+
+``em_allowed_for(phi, X)`` is the parameterized variant used throughout
+the translation (and by the Section 9 generalization): condition (1)
+becomes ``bd(phi) |= X -> free(phi)``, i.e. ``phi`` is safe to evaluate
+once the context has bounded the variables in ``X``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.formulas import (
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    free_variables,
+    subformulas,
+)
+from repro.core.queries import CalculusQuery
+from repro.errors import NotEmAllowedError
+from repro.finds.closure import attribute_closure
+from repro.safety.bd import bd
+
+__all__ = [
+    "em_allowed",
+    "em_allowed_query",
+    "em_allowed_for",
+    "em_allowed_violations",
+    "quantifier_violations",
+    "require_em_allowed",
+]
+
+
+def quantifier_violations(formula: Formula,
+                          annotations=None) -> list[str]:
+    """Violations of the per-quantifier conditions (2) and (3), over all
+    subformulas of ``formula``."""
+    problems: list[str] = []
+    for sub in subformulas(formula):
+        if isinstance(sub, Exists):
+            context = free_variables(sub)
+            closed = attribute_closure(context, bd(sub.body, annotations))
+            missing = set(sub.vars) - closed
+            if missing:
+                problems.append(
+                    f"in {sub}: variables {sorted(missing)} not bounded by the "
+                    f"body given {sorted(context) or '{}'}"
+                )
+        elif isinstance(sub, Forall):
+            context = free_variables(sub)
+            closed = attribute_closure(context, bd(Not(sub.body), annotations))
+            missing = set(sub.vars) - closed
+            if missing:
+                problems.append(
+                    f"in {sub}: variables {sorted(missing)} not bounded by the "
+                    f"negated body given {sorted(context) or '{}'}"
+                )
+    return problems
+
+
+def em_allowed_violations(formula: Formula,
+                          assumed_bounded: Iterable[str] = (),
+                          annotations=None) -> list[str]:
+    """All reasons why ``formula`` is not em-allowed (for the variable
+    set ``assumed_bounded``); empty list means em-allowed.
+
+    ``annotations`` activates the [RBS87]/[Coh86] inverse-information
+    extension (see :mod:`repro.finds.annotations`).
+    """
+    problems: list[str] = []
+    closed = attribute_closure(assumed_bounded, bd(formula, annotations))
+    missing = free_variables(formula) - closed
+    if missing:
+        given = sorted(assumed_bounded)
+        problems.append(
+            f"free variables {sorted(missing)} are not bounded"
+            + (f" given {given}" if given else "")
+        )
+    problems.extend(quantifier_violations(formula, annotations))
+    return problems
+
+
+def em_allowed(formula: Formula, annotations=None) -> bool:
+    """True when ``formula`` satisfies the em-allowed criterion."""
+    return not em_allowed_violations(formula, annotations=annotations)
+
+
+def em_allowed_for(formula: Formula, bounded: Iterable[str],
+                   annotations=None) -> bool:
+    """True when ``formula`` is em-allowed *relative to* a context that
+    has already bounded the variables in ``bounded``.
+
+    This is the test the RANF transformations (T13–T16) apply when
+    deciding whether a subformula can be evaluated after its sibling
+    conjuncts.
+    """
+    return not em_allowed_violations(formula, bounded, annotations)
+
+
+def em_allowed_query(query: CalculusQuery) -> bool:
+    """em-allowedness of a query: its body must be em-allowed (head
+    terms only apply functions to already-bounded variables)."""
+    return em_allowed(query.body)
+
+
+def require_em_allowed(query: CalculusQuery) -> None:
+    """Raise :class:`NotEmAllowedError` with the full violation list if
+    ``query`` is not em-allowed."""
+    problems = em_allowed_violations(query.body)
+    if problems:
+        raise NotEmAllowedError(f"query {query} is not em-allowed", problems)

@@ -1,0 +1,79 @@
+"""The ``pushnot`` operator (Section 6/7 of the paper, after [GT91]).
+
+``pushnot`` pushes a negation one step towards the atoms:
+
+=====================  ==========================================
+``~~psi``              ``psi``
+``~(p1 & ... & pn)``   ``~p1 | ... | ~pn``
+``~(p1 | ... | pn)``   ``~p1 & ... & ~pn``
+``~forall x (psi)``    ``exists x (~psi)``
+``~exists x (psi)``    ``forall x (~psi)``
+=====================  ==========================================
+
+It is *undefined* on a negated atom: ``~R(t...)`` is a negated finite
+relation (handled by difference in the algebra) and ``~(t1 = t2)`` is
+the inequality atom, which this paper classifies as *negative*
+(difference (b) from [GT91]).  Note that ``~(t1 != t2)`` is
+``~~(t1 = t2)`` and therefore *does* push, to ``t1 = t2`` — that is how
+equalities hidden under double negation contribute bounding information
+(the q4 analysis relies on it).
+
+The ``bd`` analysis uses the full table above; the ENF driver uses the
+same operator but never pushes through ``~exists`` (a negated
+existential subquery is legal in ENF and becomes a set difference).
+"""
+
+from __future__ import annotations
+
+from repro.core.formulas import (
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    make_and,
+    make_or,
+)
+
+__all__ = ["pushnot", "pushnot_applicable"]
+
+
+def pushnot_applicable(formula: Formula, through_exists: bool = True) -> bool:
+    """True when ``formula`` is a negation that :func:`pushnot` can push.
+
+    ``through_exists=False`` gives the ENF driver's view, in which a
+    negated existential is kept as a negated subquery.
+    """
+    if not isinstance(formula, Not):
+        return False
+    child = formula.child
+    if isinstance(child, Atom):
+        return False
+    if isinstance(child, Exists):
+        return through_exists
+    return isinstance(child, (Not, And, Or, Forall))
+
+
+def pushnot(formula: Formula, through_exists: bool = True) -> Formula:
+    """Push the outermost negation of ``formula`` one step inward.
+
+    Raises ``ValueError`` when not applicable (callers test with
+    :func:`pushnot_applicable` first; the safety analysis treats
+    non-applicable negations as carrying no bounding information).
+    """
+    if not pushnot_applicable(formula, through_exists):
+        raise ValueError(f"pushnot not applicable to {formula}")
+    child = formula.child  # type: ignore[union-attr]
+    if isinstance(child, Not):
+        return child.child
+    if isinstance(child, And):
+        return make_or([Not(c) for c in child.children])
+    if isinstance(child, Or):
+        return make_and([Not(c) for c in child.children])
+    if isinstance(child, Forall):
+        return Exists(child.vars, Not(child.body))
+    if isinstance(child, Exists):
+        return Forall(child.vars, Not(child.body))
+    raise AssertionError("unreachable")  # pragma: no cover

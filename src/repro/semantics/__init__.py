@@ -1,0 +1,34 @@
+"""Reference semantics: direct calculus evaluation, levels, EDI checks.
+
+* :mod:`repro.semantics.eval_calculus` — the naive, obviously-correct
+  evaluator every fast path is validated against;
+* :mod:`repro.semantics.levels` — the ``||phi||`` level measures;
+* :mod:`repro.semantics.domain_independence` — empirical falsifiers for
+  embedded domain independence (experiment E2).
+"""
+
+from repro.semantics.domain_independence import (
+    EdiReport,
+    check_embedded_domain_independence,
+    edi_witness,
+)
+from repro.semantics.eval_calculus import (
+    evaluate_query,
+    evaluation_universe,
+    query_schema,
+    satisfies,
+)
+from repro.semantics.levels import edi_level, edi_level_query, function_nesting
+
+__all__ = [
+    "satisfies",
+    "evaluate_query",
+    "evaluation_universe",
+    "query_schema",
+    "edi_level",
+    "edi_level_query",
+    "function_nesting",
+    "EdiReport",
+    "edi_witness",
+    "check_embedded_domain_independence",
+]

@@ -1,0 +1,63 @@
+"""The ``||phi||`` level measure (Section 5/6).
+
+Embedded domain independence is relative to a level ``k``: the query
+answer must be invariant under interpretation changes outside
+``term_k(adom(q, I))``.  Theorem 6.6 bounds the level of an em-allowed
+formula by a measure ``||phi||`` of its function nesting.
+
+The paper's exact definition of ``||phi||`` is not in the surviving
+text; we provide two measures bracketing it:
+
+* :func:`function_nesting` — the maximum nesting depth of function
+  applications in any single atom (a lower bound on the necessary
+  level);
+* :func:`edi_level` — the total number of function applications in the
+  formula (a sound upper bound: each application can extend a
+  derivation chain by at most one closure round, e.g.
+  ``exists y (f(x)=y & exists z (g(y)=z & ...))`` chains two depth-1
+  atoms into a depth-2 value).
+
+The evaluators and the E2 experiment use :func:`edi_level`; the
+difference between the two measures is itself reported by E2.
+"""
+
+from __future__ import annotations
+
+from repro.core.formulas import Compare, Equals, Formula, RelAtom, subformulas
+from repro.core.queries import CalculusQuery
+from repro.core.terms import Func, Term, walk_term
+from repro.core.formulas import formula_function_depth
+
+__all__ = ["function_nesting", "edi_level", "edi_level_query"]
+
+
+def function_nesting(formula: Formula) -> int:
+    """Maximum function-nesting depth over the formula's atoms."""
+    return formula_function_depth(formula)
+
+
+def _count_apps(term: Term) -> int:
+    return sum(1 for node in walk_term(term) if isinstance(node, Func))
+
+
+def edi_level(formula: Formula) -> int:
+    """Total number of function applications — the upper-bound level."""
+    total = 0
+    for sub in subformulas(formula):
+        if isinstance(sub, RelAtom):
+            total += sum(_count_apps(t) for t in sub.terms)
+        elif isinstance(sub, (Equals, Compare)):
+            total += _count_apps(sub.left) + _count_apps(sub.right)
+    return total
+
+
+def edi_level_query(query: CalculusQuery) -> int:
+    """Level for a query: function applications in the body *and* the
+    head.  Head terms matter for embedded domain independence — for
+    ``{ g(f(x)) | R(x) }`` two interpretations must agree on ``f`` over
+    the active domain and on ``g`` over its image before the answers
+    can coincide, i.e. level 2."""
+    total = edi_level(query.body)
+    for t in query.head:
+        total += _count_apps(t)
+    return total

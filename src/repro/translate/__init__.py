@@ -1,0 +1,46 @@
+"""Translation of em-allowed calculus queries into the extended algebra.
+
+* :mod:`repro.translate.enf` — steps 1–2 (T1–T9, ENF);
+* :mod:`repro.translate.compiler` — steps 3–4 (T10, T13–T16, RANF and
+  algebra emission);
+* :mod:`repro.translate.pipeline` — the end-to-end ``translate_query``;
+* :mod:`repro.translate.baseline_adom` — the [AB88] active-domain
+  baseline;
+* :mod:`repro.translate.ranf` — formula-level RANF view (conjunction
+  order, RANF predicate);
+* :mod:`repro.translate.parameterized` — em-allowed-for-X queries;
+* :mod:`repro.translate.trace` — transformation traces.
+"""
+
+from repro.translate.baseline_adom import translate_query_adom
+from repro.translate.compiler import CompiledContext, compile_formula
+from repro.translate.enf import is_enf, to_enf
+from repro.translate.parameterized import (
+    ParameterizedQuery,
+    bind_parameters,
+    parameterized_query,
+    translate_parameterized,
+)
+from repro.translate.pipeline import TranslationResult, translate_formula, translate_query
+from repro.translate.ranf import bound_by_conjunct, conjunction_order, is_ranf
+from repro.translate.trace import TraceStep, TranslationTrace
+
+__all__ = [
+    "translate_query",
+    "translate_formula",
+    "TranslationResult",
+    "translate_query_adom",
+    "ParameterizedQuery",
+    "parameterized_query",
+    "translate_parameterized",
+    "bind_parameters",
+    "to_enf",
+    "is_enf",
+    "is_ranf",
+    "conjunction_order",
+    "bound_by_conjunct",
+    "compile_formula",
+    "CompiledContext",
+    "TranslationTrace",
+    "TraceStep",
+]

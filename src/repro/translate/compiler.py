@@ -1,0 +1,512 @@
+"""Steps 3–4 of the translation: RANF and algebra emission.
+
+The paper transforms an ENF formula into Relational Algebra Normal Form
+with transformations T13–T16 and then maps RANF subformulas to algebra
+expressions.  This module realizes both steps in one *context-driven
+compiler*: a conjunction is processed in a [BB79]-sorted order (each
+conjunct evaluable once its predecessors have bounded enough
+variables), and the four RANF transformations appear as the compiler's
+decision points, each recorded in the trace under the paper's name:
+
+* **T13** — a disjunction is compiled by evaluating every disjunct
+  against the current context (the effect of distributing the bounding
+  conjuncts into the disjunction) and uniting the aligned results;
+* **T14** — an existential subformula is compiled by extending the
+  current context through its body (the effect of pushing the bounding
+  conjuncts under the quantifier) and projecting the quantified columns
+  away;
+* **T15** — a negated subformula is compiled by the generalized
+  difference ``context - (context where psi holds)``; per the paper the
+  bounding group need not itself be in RANF — it is simply the context
+  accumulated so far;
+* **T16** (new in this paper) — a *constructive atom* ``y = t`` whose
+  right side is computable from the context binds ``y`` by an extended
+  projection that computes the new column — this is where scalar
+  functions enter the algebra;
+* **T10** (new in this paper, step 2 family) — when no conjunct is
+  evaluable and some conjunct is a negated conjunction, the negation is
+  pushed across it (and the result re-normalized to ENF).  Without
+  functions this case never arises — which is why [GT91] lacks T10 —
+  but on the q4 family the equalities hidden under the negation are the
+  only source of bounding for ``y``, so the subtraction strategy of T15
+  is impossible and T10 is the only way forward.  Disabling it
+  (``enable_t10=False``) reproduces the paper's claim that T1–T9 and
+  T11–T16 alone get stuck (experiment E4).
+
+The compiler maintains the invariant that the context plan has exactly
+one column per bound variable, in a canonical order, so emitted plans
+read like the paper's (e.g. ``{x,y,z | R(x,y,z) & ~S(y,z)}`` becomes
+``R - project([@1,@2,@3], join({@2==@4, @3==@5}, R, S))``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.ast import (
+    AlgebraExpr,
+    CApp,
+    CConst,
+    Col,
+    ColExpr,
+    Condition,
+    Diff,
+    Join,
+    Lit,
+    Project,
+    Rel,
+    Select,
+    Union,
+)
+from repro.core.formulas import (
+    And,
+    Compare,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    free_variables,
+)
+from repro.core.terms import Const, Func, Term, Var, variables as term_variables
+from repro.errors import TransformationStuckError, TranslationError
+from repro.finds.closure import attribute_closure
+from repro.safety.bd import bd
+from repro.safety.pushnot import pushnot, pushnot_applicable
+from repro.translate.enf import to_enf
+from repro.translate.trace import TranslationTrace
+
+__all__ = ["CompiledContext", "compile_formula", "TRUE_CONTEXT_PLAN"]
+
+#: The arity-0, one-row relation: the neutral context a compilation
+#: starts from ("true").
+TRUE_CONTEXT_PLAN = Lit(0, frozenset({()}))
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledContext:
+    """An algebra plan whose columns correspond 1:1 to bound variables.
+
+    ``vars[i]`` is the variable held in (1-based) column ``i + 1``.
+    """
+
+    plan: AlgebraExpr
+    vars: tuple[str, ...]
+
+    def column(self, name: str) -> int:
+        """1-based column of a bound variable."""
+        try:
+            return self.vars.index(name) + 1
+        except ValueError:
+            raise TranslationError(f"variable {name} is not bound by the context") from None
+
+    def has(self, name: str) -> bool:
+        return name in self.vars
+
+    @property
+    def arity(self) -> int:
+        return len(self.vars)
+
+
+def _term_colexpr(term: Term, positions: dict[str, int]) -> ColExpr:
+    """A column expression computing ``term`` over columns ``positions``
+    (variable name -> 1-based column)."""
+    if isinstance(term, Var):
+        return Col(positions[term.name])
+    if isinstance(term, Const):
+        return CConst(term.value)
+    if isinstance(term, Func):
+        return CApp(term.name, tuple(_term_colexpr(a, positions) for a in term.args))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _computable(term: Term, ctx: CompiledContext) -> bool:
+    """True when every variable of ``term`` is bound by the context."""
+    return all(ctx.has(v) for v in term_variables(term))
+
+
+# ---------------------------------------------------------------------------
+# Readiness tests (the [BB79]-sorted conjunction order)
+# ---------------------------------------------------------------------------
+
+def _atom_ready(atom: RelAtom, ctx: CompiledContext) -> bool:
+    """A relation atom is evaluable when each non-variable argument only
+    uses variables bound by the context or bound by a *variable*
+    argument of the same atom (join conditions are simultaneous)."""
+    own_vars = {t.name for t in atom.terms if isinstance(t, Var)}
+    for t in atom.terms:
+        if isinstance(t, Var):
+            continue
+        if not all(ctx.has(v) or v in own_vars for v in term_variables(t)):
+            return False
+    return True
+
+
+def _equals_mode(atom: Equals, ctx: CompiledContext) -> str | None:
+    """'select' when both sides are computable, 'construct-left' /
+    'construct-right' when one side is an unbound variable and the other
+    computable, None when not ready."""
+    left_ok = _computable(atom.left, ctx)
+    right_ok = _computable(atom.right, ctx)
+    if left_ok and right_ok:
+        return "select"
+    if not left_ok and isinstance(atom.left, Var) and right_ok:
+        return "construct-left"
+    if not right_ok and isinstance(atom.right, Var) and left_ok:
+        return "construct-right"
+    return None
+
+
+def _subformula_bounds(formula: Formula, ctx: CompiledContext,
+                       targets: frozenset[str], annotations) -> bool:
+    """Does ``bd(formula)`` bound ``targets`` given the context-bound
+    free variables of ``formula``?"""
+    context_vars = frozenset(v for v in free_variables(formula) if ctx.has(v))
+    return targets <= attribute_closure(context_vars, bd(formula, annotations))
+
+
+def _exists_ready(formula: Exists, ctx: CompiledContext, annotations) -> bool:
+    needed = frozenset(formula.vars) | (free_variables(formula) - set(ctx.vars))
+    return _subformula_bounds(formula.body, ctx, needed, annotations)
+
+
+def _or_ready(formula: Or, ctx: CompiledContext, annotations) -> bool:
+    new = free_variables(formula) - set(ctx.vars)
+    return all(_subformula_bounds(d, ctx, new, annotations)
+               for d in formula.children)
+
+
+def _not_ready(formula: Not, ctx: CompiledContext) -> bool:
+    return free_variables(formula.child) <= set(ctx.vars)
+
+
+# ---------------------------------------------------------------------------
+# Integration of one conjunct into the context
+# ---------------------------------------------------------------------------
+
+def _canonical_project(plan: AlgebraExpr, current: tuple[str, ...],
+                       keep: tuple[str, ...]) -> AlgebraExpr:
+    """Project ``plan`` (columns = ``current``) onto ``keep``."""
+    positions = {name: i + 1 for i, name in enumerate(current)}
+    return Project(tuple(Col(positions[name]) for name in keep), plan)
+
+
+def _integrate_atom(atom: RelAtom, ctx: CompiledContext,
+                    trace: TranslationTrace) -> CompiledContext:
+    base = ctx.arity
+    conds: set[Condition] = set()
+    new_vars: list[str] = []
+    bound_at: dict[str, int] = {}  # variable -> 1-based column in joined plan
+    for name in ctx.vars:
+        bound_at[name] = ctx.column(name)
+    # first pass: binding occurrences of variable arguments
+    for j, t in enumerate(atom.terms, start=1):
+        if isinstance(t, Var) and t.name not in bound_at:
+            bound_at[t.name] = base + j
+            new_vars.append(t.name)
+    # second pass: conditions
+    for j, t in enumerate(atom.terms, start=1):
+        col = base + j
+        if isinstance(t, Var):
+            if bound_at[t.name] != col:
+                conds.add(Condition(Col(bound_at[t.name]), "=", Col(col)))
+        else:
+            conds.add(Condition(Col(col), "=", _term_colexpr(t, bound_at)))
+    joined = Join(frozenset(conds), ctx.plan, Rel(atom.name))
+    keep = ctx.vars + tuple(new_vars)
+    current = list(ctx.vars) + [""] * atom.arity
+    for name, col in bound_at.items():
+        if col > base:
+            current[col - 1] = name
+    plan = _canonical_project(joined, tuple(current), keep) if keep else Project((), joined)
+    trace.record("join-atom", "algebra", f"join context with {atom}")
+    return CompiledContext(plan, keep)
+
+
+def _integrate_equals(atom: Equals, mode: str, ctx: CompiledContext,
+                      trace: TranslationTrace) -> CompiledContext:
+    positions = {name: i + 1 for i, name in enumerate(ctx.vars)}
+    if mode == "select":
+        cond = Condition(_term_colexpr(atom.left, positions), "=",
+                         _term_colexpr(atom.right, positions))
+        trace.record("select-eq", "algebra", f"selection {atom}")
+        return CompiledContext(Select(frozenset({cond}), ctx.plan), ctx.vars)
+    if mode == "construct-left":
+        var, source = atom.left, atom.right
+    else:
+        var, source = atom.right, atom.left
+    assert isinstance(var, Var)
+    exprs = tuple(Col(i + 1) for i in range(ctx.arity)) + (
+        _term_colexpr(source, positions),
+    )
+    trace.record("T16", "ranf", f"constructive atom {atom} binds {var.name}")
+    return CompiledContext(Project(exprs, ctx.plan), ctx.vars + (var.name,))
+
+
+def _integrate_neq(atom: Equals, ctx: CompiledContext,
+                   trace: TranslationTrace) -> CompiledContext:
+    positions = {name: i + 1 for i, name in enumerate(ctx.vars)}
+    cond = Condition(_term_colexpr(atom.left, positions), "!=",
+                     _term_colexpr(atom.right, positions))
+    trace.record("select-neq", "algebra", f"selection {atom.left} != {atom.right}")
+    return CompiledContext(Select(frozenset({cond}), ctx.plan), ctx.vars)
+
+
+#: Complement operators for compiling negated comparison atoms.
+_COMPLEMENT = {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def _integrate_compare(atom: Compare, ctx: CompiledContext,
+                       trace: TranslationTrace, negated: bool) -> CompiledContext:
+    """A comparison atom (Section 9(d)) becomes a selection; its
+    negation selects with the complement operator."""
+    positions = {name: i + 1 for i, name in enumerate(ctx.vars)}
+    op = _COMPLEMENT[atom.op] if negated else atom.op
+    cond = Condition(_term_colexpr(atom.left, positions), op,
+                     _term_colexpr(atom.right, positions))
+    trace.record("select-cmp", "algebra",
+                 f"selection {'~' if negated else ''}({atom})")
+    return CompiledContext(Select(frozenset({cond}), ctx.plan), ctx.vars)
+
+
+def _annotation_mode(atom: Equals, ctx: CompiledContext, annotations):
+    """The first applicable (annotation, position_terms) pair for an
+    equals atom whose plain modes do not apply: all known-position
+    terms computable, all derived positions distinct unbound variables
+    ([RBS87]/[Coh86] extension)."""
+    for fterm, result in ((atom.left, atom.right), (atom.right, atom.left)):
+        if not isinstance(fterm, Func):
+            continue
+        for ann in annotations.for_function(fterm.name):
+            if ann.arity != fterm.arity:
+                continue
+            position_terms = {0: result}
+            for i, arg in enumerate(fterm.args, start=1):
+                position_terms[i] = arg
+            if not all(_computable(position_terms[p], ctx)
+                       for p in ann.known):
+                continue
+            derived_terms = [position_terms[p] for p in ann.derived_order]
+            names = [t.name for t in derived_terms if isinstance(t, Var)]
+            if (len(names) != len(derived_terms)
+                    or len(set(names)) != len(names)
+                    or any(ctx.has(n) for n in names)):
+                continue
+            return ann, position_terms
+    return None
+
+
+def _integrate_enumerate(atom: Equals, ctx: CompiledContext,
+                         trace: TranslationTrace, annotations) -> CompiledContext:
+    """Bind derived variables through an annotation's enumerator —
+    the inverse-information extension of the conclusion's
+    ``R(w) & u + v = w`` example."""
+    from repro.algebra.ast import Enumerate
+    match = _annotation_mode(atom, ctx, annotations)
+    if match is None:  # pragma: no cover - readiness guarantees
+        raise TranslationError(f"no applicable annotation for {atom}")
+    ann, position_terms = match
+    positions = {name: i + 1 for i, name in enumerate(ctx.vars)}
+    inputs = tuple(_term_colexpr(position_terms[p], positions)
+                   for p in ann.known_order)
+    new_vars = tuple(position_terms[p].name for p in ann.derived_order)
+    trace.record("T16*", "ranf",
+                 f"annotated constructive atom {atom} binds {list(new_vars)} "
+                 f"via {ann.enumerator}")
+    plan = Enumerate(ann.enumerator, inputs, len(new_vars), ctx.plan)
+    return CompiledContext(plan, ctx.vars + new_vars)
+
+
+def _integrate_not(formula: Not, ctx: CompiledContext, trace: TranslationTrace,
+                   enable_t10: bool, annotations=None) -> CompiledContext:
+    positive = _compile_into(formula.child, ctx, trace, enable_t10, annotations)
+    aligned = (positive.plan if positive.vars == ctx.vars
+               else _canonical_project(positive.plan, positive.vars, ctx.vars))
+    trace.record("T15", "ranf",
+                 f"generalized difference: context - ({formula.child})")
+    return CompiledContext(Diff(ctx.plan, aligned), ctx.vars)
+
+
+def _integrate_exists(formula: Exists, ctx: CompiledContext,
+                      trace: TranslationTrace, enable_t10: bool,
+                      annotations=None) -> CompiledContext:
+    extended = _compile_into(formula.body, ctx, trace, enable_t10, annotations)
+    keep = tuple(v for v in extended.vars if v not in formula.vars)
+    trace.record("T14", "ranf",
+                 f"evaluate body of {formula} in context, project out {list(formula.vars)}")
+    plan = _canonical_project(extended.plan, extended.vars, keep)
+    return CompiledContext(plan, keep)
+
+
+def _integrate_or(formula: Or, ctx: CompiledContext, trace: TranslationTrace,
+                  enable_t10: bool, annotations=None) -> CompiledContext:
+    new = tuple(sorted(free_variables(formula) - set(ctx.vars)))
+    keep = ctx.vars + new
+    trace.record("T13", "ranf",
+                 f"distribute context into {len(formula.children)} disjuncts of {formula}")
+    branches: list[AlgebraExpr] = []
+    for disjunct in formula.children:
+        sub = _compile_into(disjunct, ctx, trace, enable_t10, annotations)
+        missing = set(keep) - set(sub.vars)
+        if missing:
+            raise TranslationError(
+                f"disjunct {disjunct} failed to bind {sorted(missing)}"
+            )
+        branches.append(
+            sub.plan if sub.vars == keep
+            else _canonical_project(sub.plan, sub.vars, keep)
+        )
+    plan = branches[0]
+    for branch in branches[1:]:
+        plan = Union(plan, branch)
+    return CompiledContext(plan, keep)
+
+
+# ---------------------------------------------------------------------------
+# The conjunction driver
+# ---------------------------------------------------------------------------
+
+def _is_neq(formula: Formula) -> bool:
+    return isinstance(formula, Not) and isinstance(formula.child, Equals)
+
+
+def _readiness(conjunct: Formula, ctx: CompiledContext,
+               annotations) -> tuple[int, str] | None:
+    """(priority, mode) when ``conjunct`` is evaluable now, else None.
+    Lower priority integrates first."""
+    if isinstance(conjunct, RelAtom):
+        return (0, "atom") if _atom_ready(conjunct, ctx) else None
+    if isinstance(conjunct, Equals):
+        mode = _equals_mode(conjunct, ctx)
+        if mode == "select":
+            return (1, mode)
+        if mode is not None:
+            return (2, mode)
+        if annotations is not None and _annotation_mode(conjunct, ctx,
+                                                        annotations):
+            return (4, "enumerate")
+        return None
+    if isinstance(conjunct, Compare):
+        if _computable(conjunct.left, ctx) and _computable(conjunct.right, ctx):
+            return (3, "compare")
+        return None
+    if (isinstance(conjunct, Not) and isinstance(conjunct.child, Compare)
+            and _computable(conjunct.child.left, ctx)
+            and _computable(conjunct.child.right, ctx)
+            and not isinstance(conjunct.child.left, Func)
+            and not isinstance(conjunct.child.right, Func)):
+        # The complement-operator rewrite is only sound when neither
+        # side can be UNDEFINED (partial functions): with functions the
+        # generic subtraction path below handles the negation.
+        return (3, "compare-neg")
+    if _is_neq(conjunct):
+        inner = conjunct.child  # type: ignore[union-attr]
+        if _computable(inner.left, ctx) and _computable(inner.right, ctx):
+            return (3, "neq")
+        return None
+    if isinstance(conjunct, Or):
+        return (5, "or") if _or_ready(conjunct, ctx, annotations) else None
+    if isinstance(conjunct, Exists):
+        return (6, "exists") if _exists_ready(conjunct, ctx, annotations) else None
+    if isinstance(conjunct, Not):
+        return (7, "not") if _not_ready(conjunct, ctx) else None
+    if isinstance(conjunct, Forall):
+        raise TranslationError("universal quantifier survived ENF; run to_enf first")
+    raise TypeError(f"unexpected conjunct {conjunct!r}")
+
+
+def _apply_t10(pending: list[Formula], ctx: CompiledContext,
+               trace: TranslationTrace) -> bool:
+    """Try to unblock the conjunction by pushing a negated conjunction.
+
+    Returns True when some conjunct was rewritten.  This is the paper's
+    transformation T10: it fires only when the normal order is stuck,
+    i.e. exactly when the subtraction strategy cannot bound the
+    negation's variables and the bounding information must be recovered
+    from under the negation.
+    """
+    for i, conjunct in enumerate(pending):
+        if (isinstance(conjunct, Not)
+                and isinstance(conjunct.child, And)
+                and pushnot_applicable(conjunct, through_exists=False)):
+            pushed = to_enf(pushnot(conjunct), trace)
+            trace.record("T10", "ranf",
+                         f"push negation across conjunction: {conjunct} => {pushed}")
+            pending[i] = pushed
+            return True
+    return False
+
+
+def _compile_conjunction(conjuncts: list[Formula], ctx: CompiledContext,
+                         trace: TranslationTrace, enable_t10: bool,
+                         annotations=None) -> CompiledContext:
+    pending = list(conjuncts)
+    while pending:
+        ranked: list[tuple[int, int, str]] = []
+        for i, conjunct in enumerate(pending):
+            ready = _readiness(conjunct, ctx, annotations)
+            if ready is not None:
+                ranked.append((ready[0], i, ready[1]))
+        if not ranked:
+            if enable_t10 and _apply_t10(pending, ctx, trace):
+                # a pushed conjunct may expand to a conjunction; re-flatten
+                flat: list[Formula] = []
+                for c in pending:
+                    flat.extend(c.children if isinstance(c, And) else [c])
+                pending = flat
+                continue
+            raise TransformationStuckError(
+                "no transformation applies: conjunction cannot be ordered; "
+                f"context binds {list(ctx.vars)}, pending "
+                + "; ".join(str(c) for c in pending)
+            )
+        _priority, index, mode = min(ranked)
+        conjunct = pending.pop(index)
+        if mode == "atom":
+            ctx = _integrate_atom(conjunct, ctx, trace)  # type: ignore[arg-type]
+        elif mode in ("select", "construct-left", "construct-right"):
+            ctx = _integrate_equals(conjunct, mode, ctx, trace)  # type: ignore[arg-type]
+        elif mode == "neq":
+            ctx = _integrate_neq(conjunct.child, ctx, trace)  # type: ignore[union-attr]
+        elif mode == "compare":
+            ctx = _integrate_compare(conjunct, ctx, trace, negated=False)  # type: ignore[arg-type]
+        elif mode == "compare-neg":
+            ctx = _integrate_compare(conjunct.child, ctx, trace, negated=True)  # type: ignore[union-attr]
+        elif mode == "enumerate":
+            ctx = _integrate_enumerate(conjunct, ctx, trace, annotations)  # type: ignore[arg-type]
+        elif mode == "or":
+            ctx = _integrate_or(conjunct, ctx, trace, enable_t10, annotations)  # type: ignore[arg-type]
+        elif mode == "exists":
+            ctx = _integrate_exists(conjunct, ctx, trace, enable_t10, annotations)  # type: ignore[arg-type]
+        elif mode == "not":
+            ctx = _integrate_not(conjunct, ctx, trace, enable_t10, annotations)  # type: ignore[arg-type]
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown mode {mode}")
+    return ctx
+
+
+def _compile_into(formula: Formula, ctx: CompiledContext,
+                  trace: TranslationTrace, enable_t10: bool,
+                  annotations=None) -> CompiledContext:
+    """Compile ``formula`` against the context, returning the extended
+    context (columns for every variable the formula binds)."""
+    conjuncts = list(formula.children) if isinstance(formula, And) else [formula]
+    return _compile_conjunction(conjuncts, ctx, trace, enable_t10, annotations)
+
+
+def compile_formula(formula: Formula, trace: TranslationTrace | None = None,
+                    enable_t10: bool = True,
+                    annotations=None) -> CompiledContext:
+    """Compile an ENF formula into an algebra plan over its free
+    variables (one column per free variable, canonical order as bound).
+
+    Raises :class:`TransformationStuckError` when the conjunction order
+    cannot be completed — for em-allowed input this only happens in the
+    T10-ablated mode (experiment E4).
+    """
+    if trace is None:
+        trace = TranslationTrace()
+    ctx = CompiledContext(TRUE_CONTEXT_PLAN, ())
+    return _compile_into(formula, ctx, trace, enable_t10, annotations)

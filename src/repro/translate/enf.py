@@ -1,0 +1,172 @@
+"""Steps 1–2 of the translation: universal-quantifier elimination and
+Existential Normal Form (ENF).
+
+The four-step pipeline (Section 7, after [GT91]):
+
+1. replace every ``forall X (psi)`` by ``~exists X (~psi)``;
+2. transform into ENF with the simplification transformations T1–T9
+   (T10, the paper's new transformation, fires during step 3 — see
+   :mod:`repro.translate.compiler`);
+3. transform into RANF (T13–T16);
+4. compile RANF into the extended algebra.
+
+A formula is **ENF** here when:
+
+* it contains no universal quantifier and no double negation;
+* conjunctions/disjunctions are flattened, adjacent existentials are
+  merged, vacuous quantified variables are dropped;
+* every negation applies to an atom (giving the negative literals
+  ``~R(t...)`` and ``t != t'``), to an existential subformula (a
+  negated subquery, compiled by set difference), or to a conjunction
+  (kept for the generalized-difference strategy of T15, unless T10
+  later decides it must be pushed);
+* no negation applies to a disjunction (T7 pushes those), and no
+  negated conjunction consists purely of negative literals (T9 pushes
+  those, so that equalities hidden under double negation — the q4
+  pattern ``~(f(x) != y & g(x) != y)`` — surface as positive
+  disjunctions whose bounding information the RANF step can use);
+* existentials are distributed over disjunctions (T8), so each disjunct
+  is independently quantified.
+
+Transformations (names follow the paper's numbering scheme; the exact
+bodies of its T1–T9 are not in the surviving text — see DESIGN.md):
+
+====  ======================================================
+T1    ``~~psi  =>  psi``
+T2    flatten nested conjunction
+T3    flatten nested disjunction
+T4    ``exists X (exists Y (psi))  =>  exists X Y (psi)``
+T5    drop quantified variables not free in the body
+T6    ``forall X (psi)  =>  ~exists X (~psi)``   (step 1)
+T7    ``~(p1 | ... | pn)  =>  ~p1 & ... & ~pn``
+T8    ``exists X (p1 | ... | pn) => exists X p1 | ... | exists X pn``
+T9    ``~(n1 & ... & nk)  =>  pushed disjunction`` when every
+      conjunct is a negative literal
+====  ======================================================
+"""
+
+from __future__ import annotations
+
+from repro.core.formulas import (
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    free_variables,
+    make_and,
+    make_exists,
+    make_or,
+    subformulas,
+)
+from repro.translate.trace import TranslationTrace
+
+__all__ = ["to_enf", "is_enf", "is_negative_literal"]
+
+
+def is_negative_literal(formula: Formula) -> bool:
+    """``~R(t...)`` or ``t != t'`` — the formulas T9 pushes through."""
+    return isinstance(formula, Not) and isinstance(formula.child, Atom)
+
+
+def _rewrite(formula: Formula, trace: TranslationTrace) -> Formula | None:
+    """One top-level rewrite if any applies, else None."""
+    if isinstance(formula, Not):
+        child = formula.child
+        if isinstance(child, Not):
+            trace.record("T1", "enf", f"~~ elimination at {formula}")
+            return child.child
+        if isinstance(child, Or):
+            trace.record("T7", "enf", f"push ~ over | at {formula}")
+            return make_and([Not(c) for c in child.children])
+        if isinstance(child, Forall):
+            # normalize the body first; T6 below rewrites the Forall itself
+            return Not(_normalize(child, trace))
+        if isinstance(child, And) and all(
+            is_negative_literal(c) or isinstance(c, Not) for c in child.children
+        ):
+            trace.record("T9", "enf", f"push ~ over all-negative & at {formula}")
+            return make_or([Not(c) for c in child.children])
+        return None
+    if isinstance(formula, And):
+        if any(isinstance(c, And) for c in formula.children):
+            trace.record("T2", "enf", "flatten nested &")
+            return make_and(formula.children)
+        return None
+    if isinstance(formula, Or):
+        if any(isinstance(c, Or) for c in formula.children):
+            trace.record("T3", "enf", "flatten nested |")
+            return make_or(formula.children)
+        return None
+    if isinstance(formula, Exists):
+        body = formula.body
+        if isinstance(body, Exists):
+            trace.record("T4", "enf", f"merge adjacent exists at {formula}")
+            return make_exists(formula.vars + body.vars, body.body)
+        vacuous = [v for v in formula.vars if v not in free_variables(body)]
+        if vacuous:
+            trace.record("T5", "enf", f"drop vacuous {vacuous} at {formula}")
+            return make_exists([v for v in formula.vars if v not in vacuous], body)
+        if isinstance(body, Or):
+            trace.record("T8", "enf", f"distribute exists over | at {formula}")
+            return make_or([make_exists(formula.vars, c) for c in body.children])
+        return None
+    if isinstance(formula, Forall):
+        trace.record("T6", "enf", f"forall elimination at {formula}")
+        return Not(make_exists(formula.vars, Not(formula.body)))
+    return None
+
+
+def _normalize(formula: Formula, trace: TranslationTrace) -> Formula:
+    """Bottom-up normalization to a fixed point."""
+    # normalize children first
+    if isinstance(formula, Not):
+        formula = Not(_normalize(formula.child, trace))
+    elif isinstance(formula, And):
+        formula = make_and([_normalize(c, trace) for c in formula.children])
+    elif isinstance(formula, Or):
+        formula = make_or([_normalize(c, trace) for c in formula.children])
+    elif isinstance(formula, Exists):
+        formula = make_exists(formula.vars, _normalize(formula.body, trace))
+    elif isinstance(formula, Forall):
+        formula = Forall(formula.vars, _normalize(formula.body, trace))
+    # then rewrite at the top until stable (each rewrite may expose another)
+    while True:
+        rewritten = _rewrite(formula, trace)
+        if rewritten is None:
+            return formula
+        formula = _normalize(rewritten, trace)
+
+
+def to_enf(formula: Formula, trace: TranslationTrace | None = None) -> Formula:
+    """Steps 1–2: eliminate ``forall`` and normalize to ENF."""
+    if trace is None:
+        trace = TranslationTrace()
+    return _normalize(formula, trace)
+
+
+def is_enf(formula: Formula) -> bool:
+    """Check the ENF conditions listed in the module docstring."""
+    for sub in subformulas(formula):
+        if isinstance(sub, Forall):
+            return False
+        if isinstance(sub, Not):
+            child = sub.child
+            if isinstance(child, (Not, Or, Forall)):
+                return False
+            if isinstance(child, And) and all(
+                isinstance(c, Not) for c in child.children
+            ):
+                return False
+        if isinstance(sub, And) and any(isinstance(c, And) for c in sub.children):
+            return False
+        if isinstance(sub, Or) and any(isinstance(c, Or) for c in sub.children):
+            return False
+        if isinstance(sub, Exists):
+            if isinstance(sub.body, (Exists, Or)):
+                return False
+            if any(v not in free_variables(sub.body) for v in sub.vars):
+                return False
+    return True

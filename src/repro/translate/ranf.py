@@ -1,0 +1,148 @@
+"""Formula-level RANF: the [BB79]-sorted conjunction order, exposed.
+
+The compiler (:mod:`repro.translate.compiler`) fuses RANF with algebra
+emission; this module mirrors its control flow at the *calculus* level,
+with no algebra involved, providing the paper's presentation artifacts:
+
+* :func:`conjunction_order` — the evaluation order of a conjunction's
+  conjuncts given already-bounded variables, computed exactly the way
+  the paper describes: using the [BB79] closure over the (reduced)
+  ``rbd`` covers, each conjunct becoming evaluable once its
+  predecessors bound enough variables.  Returns ``None`` when no
+  complete order exists — precisely the situation where the compiler
+  reaches for T10 or gives up.
+* :func:`is_ranf` — a formula is in RANF (relative to a set of bounded
+  context variables) when every conjunction in it can be ordered, every
+  disjunct/quantifier body is recursively RANF in its context, and
+  every negation's free variables are covered by the context.
+
+These functions power tests that pin the compiler's behaviour to the
+paper's narrative: ENF forms of em-allowed formulas are RANF-orderable
+(possibly after T10), and the q4 family's ENF is *not* RANF until T10
+fires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.formulas import (
+    And,
+    Compare,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    free_variables,
+)
+from repro.core.terms import Var, variables as term_variables
+from repro.errors import TranslationError
+from repro.translate.compiler import (
+    TRUE_CONTEXT_PLAN,
+    CompiledContext,
+    _annotation_mode,
+    _equals_mode,
+    _readiness,
+)
+
+__all__ = ["conjunction_order", "is_ranf", "bound_by_conjunct"]
+
+
+def _context(bounded: Iterable[str]) -> CompiledContext:
+    return CompiledContext(TRUE_CONTEXT_PLAN, tuple(dict.fromkeys(bounded)))
+
+
+def bound_by_conjunct(conjunct: Formula, ctx_vars: tuple[str, ...],
+                      annotations=None) -> tuple[str, ...]:
+    """The variables integrating ``conjunct`` would newly bind, given
+    the context variables (mirrors the compiler's integrations)."""
+    ctx = _context(ctx_vars)
+    if isinstance(conjunct, RelAtom):
+        return tuple(
+            t.name for t in conjunct.terms
+            if isinstance(t, Var) and not ctx.has(t.name)
+        )
+    if isinstance(conjunct, Equals):
+        mode = _equals_mode(conjunct, ctx)
+        if mode == "construct-left":
+            return (conjunct.left.name,)  # type: ignore[union-attr]
+        if mode == "construct-right":
+            return (conjunct.right.name,)  # type: ignore[union-attr]
+        if mode is None and annotations is not None:
+            match = _annotation_mode(conjunct, ctx, annotations)
+            if match is not None:
+                ann, position_terms = match
+                return tuple(position_terms[p].name for p in ann.derived_order)
+        return ()
+    if isinstance(conjunct, (Or, Exists)):
+        return tuple(sorted(free_variables(conjunct) - set(ctx_vars)))
+    return ()
+
+
+def conjunction_order(conjuncts: list[Formula], bounded: Iterable[str] = (),
+                      annotations=None) -> list[Formula] | None:
+    """The [BB79]-sorted evaluation order of ``conjuncts``, or ``None``
+    when the conjunction cannot be completed (the T10 situation)."""
+    ctx_vars = tuple(dict.fromkeys(bounded))
+    pending = list(conjuncts)
+    ordered: list[Formula] = []
+    while pending:
+        ranked = []
+        for i, conjunct in enumerate(pending):
+            ready = _readiness(conjunct, _context(ctx_vars), annotations)
+            if ready is not None:
+                ranked.append((ready[0], i))
+        if not ranked:
+            return None
+        _priority, index = min(ranked)
+        conjunct = pending.pop(index)
+        ordered.append(conjunct)
+        new = bound_by_conjunct(conjunct, ctx_vars, annotations)
+        ctx_vars = ctx_vars + tuple(v for v in new if v not in ctx_vars)
+    return ordered
+
+
+def is_ranf(formula: Formula, bounded: Iterable[str] = (),
+            annotations=None) -> bool:
+    """Is ``formula`` directly compilable (RANF) given that the context
+    has bounded the variables in ``bounded``?"""
+    ctx_vars = tuple(dict.fromkeys(bounded))
+
+    if isinstance(formula, Forall):
+        return False  # step 1 must have eliminated these
+    if isinstance(formula, (RelAtom, Equals, Compare)):
+        order = conjunction_order([formula], ctx_vars, annotations)
+        return order is not None
+    if isinstance(formula, Not):
+        if isinstance(formula.child, Equals):
+            inner = formula.child
+            return (term_variables(inner.left) | term_variables(inner.right)
+                    ) <= set(ctx_vars)
+        if not free_variables(formula.child) <= set(ctx_vars):
+            return False
+        return is_ranf(formula.child, ctx_vars, annotations)
+    if isinstance(formula, And):
+        order = conjunction_order(list(formula.children), ctx_vars, annotations)
+        if order is None:
+            return False
+        running = ctx_vars
+        for conjunct in order:
+            if isinstance(conjunct, (Or, Exists)):
+                if not is_ranf(conjunct, running, annotations):
+                    return False
+            elif isinstance(conjunct, Not) and \
+                    not isinstance(conjunct.child, (Equals, Compare)):
+                if not is_ranf(conjunct.child, running, annotations):
+                    return False
+            new = bound_by_conjunct(conjunct, running, annotations)
+            running = running + tuple(v for v in new if v not in running)
+        return True
+    if isinstance(formula, Or):
+        return all(is_ranf(child, ctx_vars, annotations)
+                   for child in formula.children)
+    if isinstance(formula, Exists):
+        return is_ranf(formula.body, ctx_vars, annotations)
+    raise TranslationError(f"not a formula: {formula!r}")

@@ -1,0 +1,58 @@
+"""Translation traces: a record of every transformation application.
+
+The paper presents the translation as a family of named transformations
+(T1–T16); the trace makes each application observable, which the
+benchmark harness uses to
+
+* count applications per transformation (experiment E9),
+* demonstrate that T10 is exercised on the q4 family and nowhere
+  gratuitous (experiment E4),
+* print step-by-step walkthroughs like the paper's Examples 7.4/7.8.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["TraceStep", "TranslationTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One transformation application."""
+
+    name: str          # e.g. "T10"
+    phase: str         # "enf" | "ranf" | "algebra"
+    description: str   # human-readable before -> after
+
+    def __str__(self) -> str:
+        return f"[{self.phase}:{self.name}] {self.description}"
+
+
+@dataclass
+class TranslationTrace:
+    """Accumulates :class:`TraceStep` records during one translation."""
+
+    steps: list[TraceStep] = field(default_factory=list)
+
+    def record(self, name: str, phase: str, description: str) -> None:
+        self.steps.append(TraceStep(name, phase, description))
+
+    def count(self, name: str | None = None) -> int:
+        """Number of applications (of one transformation, or in total)."""
+        if name is None:
+            return len(self.steps)
+        return sum(1 for s in self.steps if s.name == name)
+
+    def counts(self) -> dict[str, int]:
+        """Applications per transformation name."""
+        return dict(Counter(s.name for s in self.steps))
+
+    def names(self) -> list[str]:
+        """Transformation names in application order."""
+        return [s.name for s in self.steps]
+
+    def render(self) -> str:
+        """The full walkthrough, one step per line."""
+        return "\n".join(str(s) for s in self.steps)

@@ -1,0 +1,44 @@
+"""Workloads: the paper's query gallery, practical scenarios, and
+parametric/random query families for experiments and tests."""
+
+from repro.workloads.families import (
+    chain_query,
+    family_instance,
+    family_interpretation,
+    join_chain_query,
+    t10_family_query,
+    union_query,
+)
+from repro.workloads.gallery import (
+    GALLERY,
+    GalleryEntry,
+    gallery_entry,
+    gallery_instance,
+    standard_gallery_interp,
+)
+from repro.workloads.practical import Scenario, parts_scenario, payroll_scenario
+from repro.workloads.random_queries import (
+    break_boundedness,
+    random_block,
+    random_em_allowed_query,
+)
+
+__all__ = [
+    "GALLERY",
+    "GalleryEntry",
+    "gallery_entry",
+    "gallery_instance",
+    "standard_gallery_interp",
+    "Scenario",
+    "payroll_scenario",
+    "parts_scenario",
+    "chain_query",
+    "union_query",
+    "t10_family_query",
+    "join_chain_query",
+    "family_instance",
+    "family_interpretation",
+    "random_em_allowed_query",
+    "random_block",
+    "break_boundedness",
+]

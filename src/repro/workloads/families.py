@@ -1,0 +1,149 @@
+"""Parametric query families for the scaling experiments (E4, E9).
+
+Each family produces a query of a given size together with a matching
+instance/interpretation factory, so benchmarks can sweep a size
+parameter and report translation time, plan size, and transformation
+counts as curves.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.formulas import (
+    Equals,
+    Not,
+    RelAtom,
+    make_and,
+    make_or,
+    not_equals,
+)
+from repro.core.queries import CalculusQuery
+from repro.core.terms import Func, Var
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.data.relation import Relation
+
+__all__ = [
+    "chain_query",
+    "union_query",
+    "t10_family_query",
+    "join_chain_query",
+    "family_instance",
+    "family_interpretation",
+]
+
+
+def chain_query(n: int) -> CalculusQuery:
+    """``{ x0, xn | R(x0) & f1(x0)=x1 & ... & fn(x_{n-1})=xn }`` —
+    a chain of ``n`` constructive atoms (T16 applications)."""
+    if n < 1:
+        raise ValueError("chain length must be >= 1")
+    conjuncts = [RelAtom("R", (Var("x0"),))]
+    for i in range(1, n + 1):
+        conjuncts.append(
+            Equals(Func(f"f{i}", (Var(f"x{i-1}"),)), Var(f"x{i}"))
+        )
+    from repro.core.formulas import Exists
+    body = make_and(conjuncts)
+    inner = tuple(f"x{i}" for i in range(1, n))
+    if inner:
+        body = Exists(inner, body)
+    return CalculusQuery((Var("x0"), Var(f"x{n}")), body)
+
+
+def union_query(n: int) -> CalculusQuery:
+    """q5 scaled to ``n`` disjuncts, alternating derivation direction:
+    odd disjuncts derive ``y`` from ``x``, even ones ``x`` from ``y``."""
+    if n < 2:
+        raise ValueError("union width must be >= 2")
+    disjuncts = []
+    for i in range(n):
+        if i % 2 == 0:
+            disjuncts.append(make_and([
+                RelAtom(f"R{i}", (Var("x"),)),
+                Equals(Func(f"f{i}", (Var("x"),)), Var("y")),
+            ]))
+        else:
+            disjuncts.append(make_and([
+                RelAtom(f"R{i}", (Var("y"),)),
+                Equals(Func(f"f{i}", (Var("y"),)), Var("x")),
+            ]))
+    return CalculusQuery((Var("x"), Var("y")), make_or(disjuncts))
+
+
+def t10_family_query(n: int) -> CalculusQuery:
+    """The q4 family scaled to ``n`` negated-conjunction factors:
+
+    ``{x,y | S(x) & ~( AND_i ((fi(x) != y & gi(x) != y) | Ri(x,y)) )}``
+
+    For ``n >= 2`` translating any member requires T10 (with ``n = 1``
+    there is no conjunction under the negation, and the ordinary
+    pushnot of T7 suffices — q4 itself is the ``n = 2`` member); the
+    number of T13/T15 applications grows with ``n``.
+    """
+    if n < 1:
+        raise ValueError("factor count must be >= 1")
+    factors = []
+    for i in range(n):
+        factors.append(make_or([
+            make_and([
+                not_equals(Func(f"f{i}", (Var("x"),)), Var("y")),
+                not_equals(Func(f"g{i}", (Var("x"),)), Var("y")),
+            ]),
+            RelAtom(f"R{i}", (Var("x"), Var("y"))),
+        ]))
+    inner = factors[0] if n == 1 else make_and(factors)
+    body = make_and([RelAtom("S", (Var("x"),)), Not(inner)])
+    return CalculusQuery((Var("x"), Var("y")), body)
+
+
+def join_chain_query(n: int) -> CalculusQuery:
+    """``{ x0, xn | E0(x0,x1) & ... & E_{n-1}(x_{n-1},xn) & ~B(x0,xn) }``
+    — a function-free join chain with a final difference ([GT91] shape)."""
+    if n < 1:
+        raise ValueError("join chain length must be >= 1")
+    conjuncts = [
+        RelAtom(f"E{i}", (Var(f"x{i}"), Var(f"x{i+1}")))
+        for i in range(n)
+    ]
+    conjuncts.append(Not(RelAtom("B", (Var("x0"), Var(f"x{n}")))))
+    from repro.core.formulas import Exists
+    body = make_and(conjuncts)
+    inner = tuple(f"x{i}" for i in range(1, n))
+    if inner:
+        body = Exists(inner, body)
+    return CalculusQuery((Var("x0"), Var(f"x{n}")), body)
+
+
+def family_interpretation(modulus: int = 50) -> Interpretation:
+    """Total functions ``f0..f31``/``g0..g31`` (affine mod ``modulus``)
+    covering every family query."""
+    functions = {}
+    for i in range(32):
+        functions[f"f{i}"] = (lambda a: lambda v: (_num(v) * (2 * a + 3) + a) % modulus)(i)
+        functions[f"g{i}"] = (lambda a: lambda v: (_num(v) * (3 * a + 5) + 2 * a + 1) % modulus)(i)
+    return Interpretation(functions, name=f"family(mod {modulus})")
+
+
+def family_instance(query: CalculusQuery, n_rows: int = 10,
+                    universe_size: int = 12, seed: int = 0) -> Instance:
+    """Random rows for every relation the query mentions."""
+    rng = random.Random(seed)
+    universe = list(range(universe_size))
+    relations: dict[str, Relation] = {}
+    from repro.core.formulas import subformulas
+    for sub in subformulas(query.body):
+        if isinstance(sub, RelAtom) and sub.name not in relations:
+            rows = {
+                tuple(rng.choice(universe) for _ in range(sub.arity))
+                for _ in range(n_rows)
+            }
+            relations[sub.name] = Relation(sub.arity, rows)
+    return Instance(relations)
+
+
+def _num(value) -> int:
+    if isinstance(value, int):
+        return value
+    return sum(ord(c) for c in str(value)) % 97

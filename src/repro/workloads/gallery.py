@@ -1,0 +1,198 @@
+"""The paper's query gallery.
+
+Each entry packages one of the queries the paper discusses with its
+expected classification under every safety criterion the library
+implements, plus a small instance/interpretation on which it can be
+evaluated.  Experiment E1 asserts the classifications; E3 checks the
+translation against the reference semantics on every translatable
+entry.
+
+Reconstruction notes (also in DESIGN.md): the survived text quotes q4
+without the conjunct that bounds ``x`` (the quoted body alone cannot be
+domain independent); we complete it with ``S(x)``.  q2/q3 are not
+quoted at all in the surviving fragments; the gallery uses the paper's
+*flagship* example ``R(x) & exists y (f(x) = y & ~R(y))`` (quoted in
+Section 2) as q3 and a classic function-free difference query as q2 so
+the function-free path stays covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parser import parse_query
+from repro.core.queries import CalculusQuery
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.data.relation import Relation
+
+__all__ = ["GalleryEntry", "GALLERY", "gallery_entry", "gallery_instance",
+           "standard_gallery_interp"]
+
+
+@dataclass(frozen=True)
+class GalleryEntry:
+    """One paper query with expected classifications and test data."""
+
+    key: str
+    description: str
+    text: str
+    em_allowed: bool
+    allowed_gt91: bool          # classic function-free criterion (False when functions blind it)
+    safe_top91: bool
+    range_restricted: bool
+    translatable: bool          # via the main pipeline
+    needs_t10: bool = False     # stuck without T10
+    embedded_domain_independent: bool = True
+
+    @property
+    def query(self) -> CalculusQuery:
+        return parse_query(self.text)
+
+
+def standard_gallery_interp() -> Interpretation:
+    """Deterministic small-range functions shared by the gallery."""
+    return Interpretation({
+        "f": lambda v: (_as_int(v) * 7 + 1) % 20,
+        "g": lambda v: (_as_int(v) * 3 + 2) % 20,
+        "h": lambda v: (_as_int(v) * 5 + 3) % 20,
+        "k": lambda v: (_as_int(v) * 11 + 4) % 20,
+        "plus1": lambda v: _as_int(v) + 1,
+    }, name="gallery")
+
+
+def _as_int(value) -> int:
+    return value if isinstance(value, int) else hash(value) % 97
+
+
+def gallery_instance() -> Instance:
+    """A small instance covering every relation the gallery mentions."""
+    return Instance({
+        "R": Relation(1, [(1,), (2,), (3,)]),
+        "R2": Relation(2, [(1, 8), (2, 15), (3, 3)]),
+        "R3": Relation(3, [(1, 2, 3), (4, 5, 6), (1, 5, 6)]),
+        "S": Relation(1, [(2,), (9,), (1,)]),
+        "S2": Relation(2, [(5, 6), (2, 9)]),
+        "P": Relation(2, [(1, 8), (3, 11), (2, 15)]),
+        "T": Relation(1, [(9,), (3,)]),
+        "W": Relation(3, [(1, 2, 5), (3, 9, 2)]),
+    })
+
+
+GALLERY: dict[str, GalleryEntry] = {}
+
+
+def _add(entry: GalleryEntry) -> None:
+    GALLERY[entry.key] = entry
+
+
+def gallery_entry(key: str) -> GalleryEntry:
+    """Look up one gallery entry by its key (e.g. ``"q4"``)."""
+    return GALLERY[key]
+
+
+_add(GalleryEntry(
+    key="q1",
+    description="Intro q1: function composition in the head; equivalent to "
+                "project([g(f(@1))], R).",
+    text="{ g(f(x)) | R(x) }",
+    em_allowed=True, allowed_gt91=True, safe_top91=True,
+    range_restricted=True, translatable=True,
+))
+
+_add(GalleryEntry(
+    key="q2",
+    description="Classic function-free difference (the [GT91]/[AB88] "
+                "comparison example of Section 2).",
+    text="{ x, y, z | R3(x, y, z) & ~S2(y, z) }",
+    em_allowed=True, allowed_gt91=True, safe_top91=True,
+    range_restricted=True, translatable=True,
+))
+
+_add(GalleryEntry(
+    key="q3",
+    description="Flagship example: em-allowed but not range restricted "
+                "(y is bounded only through f).",
+    text="{ x | R(x) & exists y (f(x) = y & ~R(y)) }",
+    em_allowed=True, allowed_gt91=False, safe_top91=True,
+    range_restricted=False, translatable=True,
+))
+
+_add(GalleryEntry(
+    key="q4",
+    description="Intro q4 (completed with the bounding conjunct S(x)): "
+                "em-allowed, satisfies [Top91]'s safe, but untranslatable "
+                "without the new transformation T10.",
+    text="{ x, y | S(x) & ~(((f(x) != y & g(x) != y) | R2(x, y)) & "
+         "((h(x) != y & k(x) != y) | P(x, y))) }",
+    em_allowed=True, allowed_gt91=False, safe_top91=True,
+    range_restricted=False, translatable=True, needs_t10=True,
+))
+
+_add(GalleryEntry(
+    key="q5",
+    description="Intro q5: em-allowed but not [Top91]-safe — the disjuncts "
+                "derive x and y in opposite directions.",
+    text="{ x, y | (R(x) & f(x) = y) | (S(y) & g(y) = x) }",
+    em_allowed=True, allowed_gt91=False, safe_top91=False,
+    range_restricted=False, translatable=True,
+))
+
+_add(GalleryEntry(
+    key="q6",
+    description="Section 2 counterexample: domain independent and finite "
+                "in [Top91]'s two-sorted sense but NOT embedded domain "
+                "independent (the universal quantifier ranges over the "
+                "whole domain).",
+    text="{ x | x = 0 & forall u exists v (plus1(u) = v) }",
+    em_allowed=False, allowed_gt91=False, safe_top91=False,
+    range_restricted=False, translatable=False,
+    embedded_domain_independent=False,
+))
+
+_add(GalleryEntry(
+    key="q7",
+    description="Unbounded head variable through a function fixpoint: "
+                "not em-allowed, not EDI.",
+    text="{ x | f(x) = x }",
+    em_allowed=False, allowed_gt91=False, safe_top91=False,
+    range_restricted=False, translatable=False,
+    embedded_domain_independent=False,
+))
+
+_add(GalleryEntry(
+    key="ex74",
+    description="Example 7.4/7.8 shape: the disjunct (R2(x,w) & ~T(y)) is "
+                "not em-allowed on its own; T13 distributes the bounding "
+                "context into the disjunction.",
+    text="{ x, y, w | S(y) & ((R2(x, w) & ~T(y)) | W(x, y, w)) }",
+    em_allowed=True, allowed_gt91=True, safe_top91=True,
+    range_restricted=True, translatable=True,
+))
+
+_add(GalleryEntry(
+    key="ex_neg_exists",
+    description="Negated existential subquery: compiled by set difference "
+                "without pushing through the quantifier.",
+    text="{ x | R(x) & ~exists y (R2(x, y) & S(y)) }",
+    em_allowed=True, allowed_gt91=True, safe_top91=True,
+    range_restricted=True, translatable=True,
+))
+
+_add(GalleryEntry(
+    key="ex_forall",
+    description="Universal quantification, eliminated by step 1: elements "
+                "of R all of whose R2-successors are in S.",
+    text="{ x | R(x) & forall y (~R2(x, y) | S(y)) }",
+    em_allowed=True, allowed_gt91=True, safe_top91=True,
+    range_restricted=True, translatable=True,
+))
+
+_add(GalleryEntry(
+    key="ex_const",
+    description="Constants participate in bounding (they join the active "
+                "domain).",
+    text="{ x, y | x = 3 & (R2(x, y) | f(x) = y) }",
+    em_allowed=True, allowed_gt91=False, safe_top91=True,
+    range_restricted=False, translatable=True,
+))

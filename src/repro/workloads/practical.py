@@ -1,0 +1,175 @@
+"""Reconstructions of the paper's Section 3 practical scenarios.
+
+Section 3 presents "two examples which illustrate how scalar functions
+naturally arise in practical queries"; the example bodies are lost from
+the surviving text, so we provide two scenarios exercising the same
+machinery (see DESIGN.md, reconstruction notes):
+
+* **Payroll** — arithmetic scalar functions (``tax``, ``raise``) over an
+  employee relation, including a negation whose bounding comes from a
+  computed value (the flagship-example pattern).
+* **Parts** — function composition over a part catalog
+  (``ship_cost(weight(p))``, the q1 pattern) and a disjunctive source
+  query (the q5 pattern).
+
+Each scenario bundles a schema, a seeded instance generator, an
+interpretation, and named queries with the classification the paper's
+framework assigns them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.parser import parse_query
+from repro.core.queries import CalculusQuery
+from repro.core.schema import DatabaseSchema
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.data.relation import Relation
+
+__all__ = ["Scenario", "payroll_scenario", "parts_scenario"]
+
+
+@dataclass
+class Scenario:
+    """A schema + data + interpretation + named queries bundle."""
+
+    name: str
+    schema: DatabaseSchema
+    interpretation: Interpretation
+    queries: dict[str, CalculusQuery]
+    descriptions: dict[str, str]
+    make_instance: Callable[[int, int], Instance]
+
+    def instance(self, scale: int = 20, seed: int = 0) -> Instance:
+        return self.make_instance(scale, seed)
+
+
+def payroll_scenario() -> Scenario:
+    """Employees, salaries, and arithmetic scalar functions.
+
+    Relations::
+
+        EMP(name, salary)      -- current salaries
+        AUDIT(amount)          -- salary amounts flagged by an audit
+
+    Functions::
+
+        tax(s)    = 30% of s, rounded down
+        bump(s)   = s + 500      (the annual raise)
+    """
+    schema = DatabaseSchema.of(
+        {"EMP": 2, "AUDIT": 1},
+        {"tax": 1, "bump": 1},
+    )
+    # Functions are total over the whole domain (the paper's assumption):
+    # non-numeric values are coerced through _num.
+    interp = Interpretation({
+        "tax": lambda s: (_num(s) * 3) // 10,
+        "bump": lambda s: _num(s) + 500,
+    }, name="payroll")
+
+    queries = {
+        # q1 pattern: functions in the head.
+        "net_pay": parse_query("{ n, s, tax(s) | EMP(n, s) }", schema),
+        # flagship pattern: a computed value feeding a negation.
+        "safe_raises": parse_query(
+            "{ n | exists s (EMP(n, s) & exists b (bump(s) = b & ~AUDIT(b))) }",
+            schema,
+        ),
+        # constructive equality with a join back into the data.
+        "raise_collision": parse_query(
+            "{ n, m | exists s exists t (EMP(n, s) & EMP(m, t) & bump(s) = t) }",
+            schema,
+        ),
+    }
+    descriptions = {
+        "net_pay": "name, salary and tax withheld — extended projection",
+        "safe_raises": "employees whose raised salary is not audit-flagged — "
+                       "em-allowed but not range-restricted",
+        "raise_collision": "employee pairs where one's raise equals the "
+                           "other's salary — function value joined back",
+    }
+
+    def make_instance(scale: int, seed: int) -> Instance:
+        rng = random.Random(seed)
+        salaries = [1000 + 500 * rng.randrange(1, scale) for _ in range(scale)]
+        emp = Relation(2, ((f"emp{i}", s) for i, s in enumerate(salaries)))
+        audited = Relation(1, ((s + 500,) for s in rng.sample(salaries, max(1, scale // 4))))
+        return Instance({"EMP": emp, "AUDIT": audited})
+
+    return Scenario("payroll", schema, interp, queries, descriptions, make_instance)
+
+
+def parts_scenario() -> Scenario:
+    """A part catalog with composed cost functions.
+
+    Relations::
+
+        PART(pid)                 -- catalog
+        MADE_BY(pid, supplier)    -- sourcing
+        LOCAL(supplier)           -- domestic suppliers
+
+    Functions::
+
+        weight(p)      -- unit weight (deterministic hash of the pid)
+        ship_cost(w)   -- freight for weight w
+        alt(s)         -- alternate supplier directory
+    """
+    schema = DatabaseSchema.of(
+        {"PART": 1, "MADE_BY": 2, "LOCAL": 1},
+        {"weight": 1, "ship_cost": 1, "alt": 1},
+    )
+    interp = Interpretation({
+        "weight": lambda p: (_num(p) * 13 + 5) % 40 + 1,
+        "ship_cost": lambda w: _num(w) * 3 + 7,
+        "alt": lambda s: f"alt-{s}",
+    }, name="parts")
+
+    queries = {
+        # q1 pattern: composed functions in the head.
+        "freight": parse_query("{ p, ship_cost(weight(p)) | PART(p) }", schema),
+        # q5 pattern: disjuncts bounding in different directions.
+        "source_or_alt": parse_query(
+            "{ p, s | (MADE_BY(p, s) & LOCAL(s)) | (PART(p) & alt(p) = s) }",
+            schema,
+        ),
+        # universal quantification: parts sourced only from local suppliers.
+        "all_local": parse_query(
+            "{ p | PART(p) & forall s (~MADE_BY(p, s) | LOCAL(s)) }",
+            schema,
+        ),
+    }
+    descriptions = {
+        "freight": "per-part freight cost via composed scalar functions",
+        "source_or_alt": "suppliers, real or synthesized by the alt() "
+                         "directory — em-allowed, not Top91-safe",
+        "all_local": "parts all of whose suppliers are local — forall via "
+                     "negated existential",
+    }
+
+    def make_instance(scale: int, seed: int) -> Instance:
+        rng = random.Random(seed)
+        parts = [f"p{i}" for i in range(scale)]
+        suppliers = [f"s{i}" for i in range(max(2, scale // 3))]
+        made_by = set()
+        for p in parts:
+            for s in rng.sample(suppliers, rng.randrange(1, 3)):
+                made_by.add((p, s))
+        local = Relation(1, ((s,) for s in suppliers if rng.random() < 0.6))
+        return Instance({
+            "PART": Relation(1, ((p,) for p in parts)),
+            "MADE_BY": Relation(2, made_by),
+            "LOCAL": local,
+        })
+
+    return Scenario("parts", schema, interp, queries, descriptions, make_instance)
+
+
+def _num(value) -> int:
+    if isinstance(value, int):
+        return value
+    return sum(ord(c) for c in str(value))

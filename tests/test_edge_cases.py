@@ -1,0 +1,149 @@
+"""Edge-case coverage across the pipeline: degenerate relations,
+repeated variables, constants in atoms, shadowing, empty answers."""
+
+import pytest
+
+from repro.algebra.evaluator import evaluate
+from repro.core.parser import parse_query
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.data.relation import Relation
+from repro.engine.executor import execute
+from repro.semantics.eval_calculus import evaluate_query
+from repro.translate.pipeline import translate_query
+
+
+@pytest.fixture
+def interp():
+    return Interpretation({
+        "f": lambda v: (v * 7 + 1) % 9 if isinstance(v, int) else 0,
+    })
+
+
+def _agree(text: str, inst: Instance, interp: Interpretation):
+    q = parse_query(text)
+    res = translate_query(q)
+    want = evaluate_query(q, inst, interp)
+    assert evaluate(res.plan, inst, interp, schema=res.schema) == want, text
+    assert execute(res.plan, inst, interp, schema=res.schema).result == want, text
+    return want
+
+
+class TestDegenerateData:
+    def test_empty_relation(self, interp):
+        inst = Instance({"R": Relation.empty(1), "S": Relation(1, [(1,)])})
+        out = _agree("{ x | S(x) & ~R(x) }", inst, interp)
+        assert out.rows == {(1,)}
+
+    def test_all_relations_empty(self, interp):
+        inst = Instance({"R": Relation.empty(2)})
+        out = _agree("{ x, y | R(x, y) }", inst, interp)
+        assert len(out) == 0
+
+    def test_single_row(self, interp):
+        inst = Instance.of(R=[(5,)])
+        out = _agree("{ x, f(x) | R(x) }", inst, interp)
+        assert out.rows == {(5, (5 * 7 + 1) % 9)}
+
+    def test_negation_empties_everything(self, interp):
+        inst = Instance.of(R=[(1,), (2,)], S=[(1,), (2,)])
+        out = _agree("{ x | R(x) & ~S(x) }", inst, interp)
+        assert len(out) == 0
+
+
+class TestAtomShapes:
+    def test_repeated_variable_in_atom(self, interp):
+        inst = Instance.of(R2=[(1, 1), (1, 2), (3, 3)])
+        out = _agree("{ x | R2(x, x) }", inst, interp)
+        assert out.rows == {(1,), (3,)}
+
+    def test_constant_in_atom(self, interp):
+        inst = Instance.of(R2=[(1, 7), (2, 8)])
+        out = _agree("{ x | R2(x, 7) }", inst, interp)
+        assert out.rows == {(1,)}
+
+    def test_function_term_in_atom(self, interp):
+        f = interp.raw("f")
+        inst = Instance.of(R=[(1,), (2,)],
+                           S2=[(f(1), "hit"), (99, "miss")])
+        out = _agree("{ x, t | R(x) & S2(f(x), t) }", inst, interp)
+        assert out.rows == {(1, "hit")}
+
+    def test_variable_bound_then_used_in_function_position(self, interp):
+        inst = Instance.of(R2=[(1, (1 * 7 + 1) % 9), (2, 0)])
+        # R2(y, f(y)): second column must equal f of the first
+        out = _agree("{ y | R2(y, f(y)) }", inst, interp)
+        assert out.rows == {(1,)}
+
+    def test_equality_chain(self, interp):
+        inst = Instance.of(R=[(1,), (2,)])
+        out = _agree("{ x, y, z | R(x) & x = y & y = z }", inst, interp)
+        assert out.rows == {(1, 1, 1), (2, 2, 2)}
+
+    def test_constant_only_equality(self, interp):
+        inst = Instance.of(R=[(1,)])
+        out = _agree("{ x, y | R(x) & y = 42 }", inst, interp)
+        assert out.rows == {(1, 42)}
+
+
+class TestQuantifierShapes:
+    def test_shadowed_variable_renamed(self, interp):
+        # inner 'exists x' shadows the free x; standardize-apart must
+        # keep them distinct through the pipeline
+        inst = Instance.of(R=[(1,), (2,)], S=[(2,)])
+        out = _agree("{ x | R(x) & exists x (S(x)) }", inst, interp)
+        assert out.rows == {(1,), (2,)}
+
+    def test_multi_variable_exists(self, interp):
+        inst = Instance.of(W=[(1, 2, 3), (1, 9, 9)], R=[(1,)])
+        out = _agree("{ x | R(x) & exists y z (W(x, y, z)) }", inst, interp)
+        assert out.rows == {(1,)}
+
+    def test_nested_negated_exists(self, interp):
+        inst = Instance.of(R=[(1,), (2,)], R2=[(1, 5)], S=[(5,)])
+        out = _agree("{ x | R(x) & ~exists y (R2(x, y) & S(y)) }",
+                     inst, interp)
+        assert out.rows == {(2,)}
+
+    def test_forall_vacuous_on_empty_successors(self, interp):
+        inst = Instance({"R": Relation(1, [(1,)]),
+                         "R2": Relation.empty(2),
+                         "S": Relation(1, [(9,)])})
+        out = _agree("{ x | R(x) & forall y (~R2(x, y) | S(y)) }",
+                     inst, interp)
+        assert out.rows == {(1,)}  # vacuously all-local
+
+    def test_double_negation_collapses(self, interp):
+        inst = Instance.of(R=[(1,), (2,)], S=[(1,)])
+        out = _agree("{ x | R(x) & ~~S(x) }", inst, interp)
+        assert out.rows == {(1,)}
+
+
+class TestHeadShapes:
+    def test_constant_head_column(self, interp):
+        inst = Instance.of(R=[(1,), (2,)])
+        out = _agree("{ x, 'tag' | R(x) }", inst, interp)
+        assert out.rows == {(1, "tag"), (2, "tag")}
+
+    def test_duplicate_head_variable(self, interp):
+        inst = Instance.of(R=[(1,)])
+        out = _agree("{ x, x | R(x) }", inst, interp)
+        assert out.rows == {(1, 1)}
+
+    def test_head_only_functions(self, interp):
+        inst = Instance.of(R=[(1,), (2,)])
+        f = interp.raw("f")
+        out = _agree("{ f(f(x)) | R(x) }", inst, interp)
+        assert out.rows == {(f(f(1)),), (f(f(2)),)}
+
+
+class TestMixedValueTypes:
+    def test_strings_and_ints_coexist(self, interp):
+        inst = Instance.of(R2=[("a", 1), ("b", 2), (3, 3)])
+        out = _agree("{ x | R2(x, 2) }", inst, interp)
+        assert out.rows == {("b",)}
+
+    def test_comparison_skips_unorderable(self, interp):
+        inst = Instance.of(R=[(1,), ("zed",), (5,)])
+        out = _agree("{ x | R(x) & x < 3 }", inst, interp)
+        assert out.rows == {(1,)}  # 'zed' < 3 is simply false

@@ -1,0 +1,177 @@
+"""Tests for em-allowed, the classic gen/allowed, and the comparator
+criteria — including every classification the paper states."""
+
+import pytest
+
+from repro.core.parser import parse_formula, parse_query
+from repro.errors import NotEmAllowedError
+from repro.safety.comparators import range_restricted, safe_top91
+from repro.safety.em_allowed import (
+    em_allowed,
+    em_allowed_for,
+    em_allowed_query,
+    em_allowed_violations,
+    require_em_allowed,
+)
+from repro.safety.gen import allowed, allowed_violations, gen
+
+
+class TestGen:
+    def test_atom_generates_top_level_vars(self):
+        assert gen(parse_formula("R2(x, y)")) == {"x", "y"}
+
+    def test_function_argument_not_generated(self):
+        assert gen(parse_formula("S2(f(x), y)")) == {"y"}
+
+    def test_constant_equality(self):
+        assert gen(parse_formula("x = 3")) == {"x"}
+
+    def test_variable_equality_alone_generates_nothing(self):
+        assert gen(parse_formula("x = y")) == frozenset()
+
+    def test_equality_propagation_in_conjunction(self):
+        assert gen(parse_formula("R(x) & x = y")) == {"x", "y"}
+
+    def test_propagation_is_fixpoint(self):
+        f = parse_formula("R(x) & x = y & y = z")
+        assert gen(f) == {"x", "y", "z"}
+
+    def test_disjunction_intersects(self):
+        assert gen(parse_formula("R2(x, y) | S(x)")) == {"x"}
+
+    def test_negation_through_pushnot(self):
+        assert gen(parse_formula("~(~R(x) & ~S(x))")) == {"x"}
+
+    def test_negated_atom_generates_nothing(self):
+        assert gen(parse_formula("~R(x)")) == frozenset()
+
+    def test_quantifier_removes_own_vars(self):
+        assert gen(parse_formula("exists y (R2(x, y))")) == {"x"}
+
+    def test_function_equality_blind(self):
+        # the [GT91] machinery cannot use f(x) = y: this is the gap
+        # FinDs close
+        assert gen(parse_formula("R(x) & f(x) = y")) == {"x"}
+
+
+class TestAllowed:
+    def test_simple_allowed(self):
+        assert allowed(parse_formula("R(x) & ~S(x)"))
+
+    def test_free_variable_not_generated(self):
+        violations = allowed_violations(parse_formula("~R(x)"))
+        assert violations and "free variables" in violations[0]
+
+    def test_exists_condition(self):
+        assert allowed(parse_formula("exists y (R2(x, y)) & R(x)"))
+        assert not allowed(parse_formula("R(x) & exists y (y != x & R(x))"))
+
+    def test_forall_condition(self):
+        # forall y psi requires y generated in ~psi
+        assert allowed(parse_formula("R(x) & forall y (~R2(x, y) | S(y))"))
+        assert not allowed(parse_formula("R(x) & forall y (S(y))"))
+
+
+class TestEmAllowed:
+    def test_paper_flagship(self):
+        f = parse_formula("R(x) & exists y (f(x) = y & ~R(y))")
+        assert em_allowed(f)
+        assert not range_restricted(f)  # the paper's exact contrast
+
+    def test_q5_em_allowed_not_safe(self):
+        f = parse_formula("(R(x) & f(x) = y) | (S(y) & g(y) = x)")
+        assert em_allowed(f)
+        assert not safe_top91(f)  # paper: em-allowed strictly contains safe
+
+    def test_q4_em_allowed_and_safe(self):
+        f = parse_formula(
+            "S(x) & ~(((f(x) != y & g(x) != y) | R2(x, y)) & "
+            "((h(x) != y & k(x) != y) | P(x, y)))")
+        assert em_allowed(f)
+        assert safe_top91(f)  # paper: q4 satisfies Top91's safety
+
+    def test_q6_not_em_allowed(self):
+        f = parse_formula("x = 0 & forall u exists v (plus1(u) = v)")
+        assert not em_allowed(f)
+
+    def test_unbounded_free_variable(self):
+        violations = em_allowed_violations(parse_formula("f(x) = y"))
+        assert violations and "not bounded" in violations[0]
+
+    def test_exists_relative_bounding(self):
+        # y bounded only relative to x — legal (T14 pushes context in)
+        f = parse_formula("R(x) & exists y (f(x) = y & S(y))")
+        assert em_allowed(f)
+
+    def test_exists_unbounded_quantified_var(self):
+        f = parse_formula("R(x) & exists y (y != x)")
+        assert not em_allowed(f)
+
+    def test_em_allowed_for_context(self):
+        f = parse_formula("f(x) = y")
+        assert not em_allowed(f)
+        assert em_allowed_for(f, {"x"})
+        assert not em_allowed_for(f, {"y"})
+
+    def test_query_level_check_and_error(self):
+        q = parse_query("{ x | f(x) = x }")
+        assert not em_allowed_query(q)
+        with pytest.raises(NotEmAllowedError) as err:
+            require_em_allowed(q)
+        assert err.value.reasons
+
+    def test_function_free_allowed_implies_em_allowed(self):
+        for text in [
+            "R(x) & ~S(x)",
+            "R2(x, y) & ~S2(y, x)",
+            "exists y (R2(x, y)) & R(x)",
+            "R(x) & forall y (~R2(x, y) | S(y))",
+            "(R(x) & S(x)) | R(x)",
+        ]:
+            f = parse_formula(text)
+            assert allowed(f)
+            assert em_allowed(f), text
+
+
+class TestComparators:
+    def test_range_restricted_positive(self):
+        assert range_restricted(parse_formula("R3(x, y, z) & ~S2(y, z)"))
+
+    def test_range_restricted_variable_equality_chain(self):
+        assert range_restricted(parse_formula("R(x) & x = y & ~S(y)"))
+
+    def test_range_restricted_rejects_function_bounding(self):
+        assert not range_restricted(parse_formula("R(x) & f(x) = y"))
+
+    def test_range_restricted_constant(self):
+        assert range_restricted(parse_formula("x = 3 & R(x)"))
+
+    def test_safe_top91_function_free(self):
+        assert safe_top91(parse_formula("R2(x, y) & ~S2(y, x)"))
+
+    def test_safe_top91_uniform_direction_union(self):
+        f = parse_formula("R2(x, y) | (S(x) & f(x) = y)")
+        assert safe_top91(f)
+
+    def test_safe_top91_context_limited_disjunction(self):
+        # y is limited by the sibling conjunct S(y), not by the disjuncts
+        f = parse_formula("S(y) & ((R2(x, w) & ~T(y)) | W(x, y, w))")
+        assert safe_top91(f)
+
+    def test_safe_top91_cap(self):
+        f = parse_formula("R3(a, b, c) & R3(d, e, q) & S2(a, d)")
+        with pytest.raises(ValueError):
+            safe_top91(f, max_vars=3)
+
+    def test_hierarchy_on_gallery(self):
+        """allowed => safe/em-allowed containments the paper states,
+        over the whole gallery."""
+        from repro.workloads.gallery import GALLERY
+        for entry in GALLERY.values():
+            body = entry.query.body
+            if entry.allowed_gt91:
+                assert em_allowed(body), entry.key
+            if entry.safe_top91:
+                assert em_allowed(body), entry.key
+            if entry.range_restricted:
+                assert em_allowed(body), entry.key

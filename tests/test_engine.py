@@ -1,0 +1,200 @@
+"""Tests for the physical execution engine: operator correctness against
+the reference algebra evaluator, join algorithm selection, counters."""
+
+import pytest
+
+from repro.algebra.ast import (
+    CApp,
+    CConst,
+    Col,
+    Condition,
+    Diff,
+    Join,
+    Lit,
+    Product,
+    Project,
+    Rel,
+    Select,
+    Union,
+)
+from repro.algebra.evaluator import evaluate
+from repro.core.parser import parse_query
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.data.relation import Relation
+from repro.engine.executor import execute
+from repro.engine.operators import HashJoinOp, NestedLoopJoinOp, OpCounters
+from repro.engine.planner import build_physical_plan
+from repro.translate.pipeline import translate_query
+from repro.workloads.gallery import GALLERY, gallery_instance, standard_gallery_interp
+
+
+@pytest.fixture
+def inst():
+    return Instance({
+        "R": Relation(1, [(1,), (2,), (3,)]),
+        "S": Relation(1, [(2,), (5,)]),
+        "R2": Relation(2, [(1, 10), (2, 20), (3, 10)]),
+    })
+
+
+@pytest.fixture
+def interp():
+    return Interpretation({"f": lambda v: v * 10, "g": lambda v: v + 1})
+
+
+PLANS = [
+    Rel("R"),
+    Project((Col(1), CApp("f", (Col(1),))), Rel("R")),
+    Select(frozenset({Condition(Col(2), "=", CApp("f", (Col(1),)))}), Rel("R2")),
+    Join(frozenset({Condition(Col(1), "=", Col(2))}), Rel("R"), Rel("S")),
+    Join(frozenset({Condition(Col(1), "!=", Col(2))}), Rel("R"), Rel("S")),
+    Union(Rel("R"), Rel("S")),
+    Diff(Rel("R"), Rel("S")),
+    Product(Rel("R"), Rel("S")),
+    Project((), Rel("R")),
+    Lit(1, frozenset({(7,)})),
+    Diff(Rel("R2"), Project((Col(1), Col(2)), Join(
+        frozenset({Condition(Col(2), "=", Col(3))}), Rel("R2"), Rel("S")))),
+]
+
+
+class TestAgreementWithReferenceEvaluator:
+    @pytest.mark.parametrize("plan", PLANS)
+    def test_execute_matches_evaluate(self, plan, inst, interp):
+        want = evaluate(plan, inst, interp)
+        report = execute(plan, inst, interp)
+        assert report.result == want
+
+    @pytest.mark.parametrize("key", [k for k, e in GALLERY.items() if e.translatable])
+    def test_translated_gallery_plans(self, key):
+        inst = gallery_instance()
+        interp = standard_gallery_interp()
+        res = translate_query(GALLERY[key].query)
+        want = evaluate(res.plan, inst, interp, schema=res.schema)
+        got = execute(res.plan, inst, interp, schema=res.schema).result
+        assert got == want, key
+
+
+class TestPlanner:
+    def test_equi_join_becomes_hash_join(self, inst, interp):
+        plan = Join(frozenset({Condition(Col(1), "=", Col(2))}), Rel("R"), Rel("S"))
+        op = build_physical_plan(plan, inst, interp)
+        assert isinstance(op, HashJoinOp)
+
+    def test_theta_join_falls_back_to_nested_loop(self, inst, interp):
+        plan = Join(frozenset({Condition(Col(1), "!=", Col(2))}), Rel("R"), Rel("S"))
+        op = build_physical_plan(plan, inst, interp)
+        assert isinstance(op, NestedLoopJoinOp)
+
+    def test_function_condition_is_residual(self, inst, interp):
+        conds = frozenset({
+            Condition(Col(1), "=", Col(2)),
+            Condition(Col(3), "=", CApp("f", (Col(1),))),
+        })
+        plan = Join(conds, Rel("R"), Rel("R2"))
+        op = build_physical_plan(plan, inst, interp)
+        assert isinstance(op, HashJoinOp)
+        assert len(op.residual) == 1
+
+    def test_mixed_same_side_equality_is_residual(self, inst, interp):
+        # both columns on the right side: not a hash key
+        conds = frozenset({Condition(Col(2), "=", Col(3))})
+        plan = Join(conds, Rel("R"), Rel("R2"))
+        op = build_physical_plan(plan, inst, interp)
+        assert isinstance(op, NestedLoopJoinOp)
+
+
+class TestCounters:
+    def test_row_counters_populated(self, inst, interp):
+        plan = Join(frozenset({Condition(Col(1), "=", Col(2))}), Rel("R"), Rel("S"))
+        report = execute(plan, inst, interp)
+        assert report.counters.rows["scan"] == 5
+        assert report.counters.rows["hash-join"] == 1
+        assert report.intermediate_rows >= 6
+
+    def test_function_calls_counted(self, inst, interp):
+        plan = Project((CApp("f", (Col(1),)),), Rel("R"))
+        report = execute(plan, inst, interp)
+        assert report.function_calls == 3
+
+    def test_summary_renders(self, inst, interp):
+        report = execute(Rel("R"), inst, interp)
+        text = report.summary()
+        assert "result rows" in text and "scan=3" in text
+
+    def test_counters_isolated_per_execution(self, inst, interp):
+        plan = Rel("R")
+        first = execute(plan, inst, interp)
+        second = execute(plan, inst, interp)
+        assert first.counters.rows == second.counters.rows
+
+
+class TestAdomPlans:
+    def test_baseline_plan_executes(self, interp):
+        from repro.translate.baseline_adom import translate_query_adom
+        from repro.semantics.eval_calculus import evaluate_query, query_schema
+        inst = Instance.of(R3=[(1, 2, 3), (4, 5, 6)], S2=[(2, 3)])
+        q = parse_query("{ x, y, z | R3(x, y, z) & ~S2(y, z) }")
+        plan = translate_query_adom(q)
+        schema = query_schema(q)
+        report = execute(plan, inst, interp, schema=schema)
+        assert report.result == evaluate_query(q, inst, interp)
+        assert "adom" in report.counters.rows
+
+
+class TestAntiJoin:
+    """The planner recognizes the translator's generalized-difference
+    shape and runs it as an anti-join (context evaluated once)."""
+
+    def test_pattern_detected_on_translated_difference(self):
+        from repro.engine.operators import AntiJoinOp
+        inst = gallery_instance()
+        interp = standard_gallery_interp()
+        res = translate_query(GALLERY["q2"].query)  # R3 - project(join(R3, S2))
+        op = build_physical_plan(res.plan, inst, interp)
+        assert isinstance(op, AntiJoinOp)
+
+    def test_anti_join_counter_reported(self):
+        inst = gallery_instance()
+        interp = standard_gallery_interp()
+        res = translate_query(GALLERY["q2"].query)
+        report = execute(res.plan, inst, interp, schema=res.schema)
+        assert "anti-join" in report.counters.rows
+        # the context is scanned once, not twice
+        assert report.counters.rows["scan"] == len(inst.relation("R3")) + \
+            len(inst.relation("S2"))
+
+    def test_plain_diff_not_matched(self, inst, interp):
+        from repro.engine.operators import AntiJoinOp, DiffOp
+        plan = Diff(Rel("R"), Rel("S"))
+        op = build_physical_plan(plan, inst, interp)
+        assert isinstance(op, DiffOp)
+
+    def test_non_identity_projection_not_matched(self, inst, interp):
+        from repro.engine.operators import DiffOp
+        inner = Join(frozenset({Condition(Col(1), "=", Col(2))}),
+                     Rel("R"), Rel("S"))
+        plan = Diff(Rel("R"), Project((Col(2),), inner))
+        op = build_physical_plan(plan, inst, interp)
+        assert isinstance(op, DiffOp)
+
+    @pytest.mark.parametrize("key", [k for k, e in GALLERY.items() if e.translatable])
+    def test_gallery_answers_unchanged(self, key):
+        inst = gallery_instance()
+        interp = standard_gallery_interp()
+        res = translate_query(GALLERY[key].query)
+        assert execute(res.plan, inst, interp, schema=res.schema).result == \
+            evaluate(res.plan, inst, interp, schema=res.schema)
+
+    def test_theta_anti_join_falls_back_to_materialized_scan(self, inst, interp):
+        from repro.engine.operators import AntiJoinOp
+        # a non-equi condition: rows of R with no strictly-smaller S row
+        inner = Join(frozenset({Condition(Col(2), "<", Col(1))}),
+                     Rel("R"), Rel("S"))
+        plan = Diff(Rel("R"), Project((Col(1),), inner))
+        op = build_physical_plan(plan, inst, interp)
+        assert isinstance(op, AntiJoinOp)
+        got = execute(plan, inst, interp).result
+        want = evaluate(plan, inst, interp)
+        assert got == want

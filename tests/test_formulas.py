@@ -1,0 +1,207 @@
+"""Unit tests for repro.core.formulas."""
+
+import pytest
+
+from repro.core.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    RelAtom,
+    all_variables,
+    bound_variables,
+    conjuncts,
+    disjuncts,
+    formula_constants,
+    formula_function_depth,
+    formula_function_names,
+    formula_size,
+    free_variables,
+    is_atomic,
+    is_equality,
+    is_inequality,
+    make_and,
+    make_exists,
+    make_forall,
+    make_or,
+    not_equals,
+    relation_names,
+    standardize_apart,
+    subformulas,
+    substitute,
+)
+from repro.core.parser import parse_formula
+from repro.core.terms import Const, Func, Var
+from repro.errors import FormulaError
+
+
+class TestConstruction:
+    def test_and_needs_two_children(self):
+        with pytest.raises(FormulaError):
+            And((RelAtom("R", (Var("x"),)),))
+
+    def test_or_needs_two_children(self):
+        with pytest.raises(FormulaError):
+            Or((RelAtom("R", (Var("x"),)),))
+
+    def test_exists_needs_variables(self):
+        with pytest.raises(FormulaError):
+            Exists((), RelAtom("R", (Var("x"),)))
+
+    def test_exists_rejects_duplicate_variables(self):
+        with pytest.raises(FormulaError):
+            Exists(("x", "x"), RelAtom("R", (Var("x"),)))
+
+    def test_inequality_is_not_of_equals(self):
+        f = not_equals(Var("x"), Var("y"))
+        assert is_inequality(f)
+        assert isinstance(f, Not)
+        assert isinstance(f.child, Equals)
+
+    def test_classifiers(self):
+        eq = Equals(Var("x"), Const(1))
+        assert is_equality(eq)
+        assert is_atomic(eq)
+        assert is_atomic(RelAtom("R", (Var("x"),)))
+        assert not is_atomic(Not(eq))
+
+
+class TestSmartConstructors:
+    def test_make_and_flattens(self):
+        a, b, c = (RelAtom(n, (Var("x"),)) for n in "RST")
+        out = make_and([a, make_and([b, c])])
+        assert isinstance(out, And)
+        assert out.children == (a, b, c)
+
+    def test_make_and_singleton_passthrough(self):
+        a = RelAtom("R", (Var("x"),))
+        assert make_and([a]) is a
+
+    def test_make_and_empty_raises(self):
+        with pytest.raises(FormulaError):
+            make_and([])
+
+    def test_make_or_flattens(self):
+        a, b, c = (RelAtom(n, (Var("x"),)) for n in "RST")
+        out = make_or([make_or([a, b]), c])
+        assert isinstance(out, Or)
+        assert out.children == (a, b, c)
+
+    def test_make_exists_drops_unused_vars(self):
+        body = RelAtom("R", (Var("x"),))
+        out = make_exists(["x", "y"], body)
+        assert isinstance(out, Exists)
+        assert out.vars == ("x",)
+
+    def test_make_exists_collapses_nested(self):
+        body = RelAtom("R2", (Var("x"), Var("y")))
+        out = make_exists(["x"], Exists(("y",), body))
+        assert isinstance(out, Exists)
+        assert set(out.vars) == {"x", "y"}
+
+    def test_make_exists_all_unused_returns_body(self):
+        body = RelAtom("R", (Var("x"),))
+        assert make_exists(["z"], body) is body
+
+    def test_make_forall_drops_unused(self):
+        body = RelAtom("R", (Var("x"),))
+        out = make_forall(["x", "z"], body)
+        assert isinstance(out, Forall)
+        assert out.vars == ("x",)
+
+
+class TestVariables:
+    def test_free_variables_atom(self):
+        f = RelAtom("R", (Var("x"), Func("f", (Var("y"),))))
+        assert free_variables(f) == {"x", "y"}
+
+    def test_free_variables_quantifier(self):
+        f = parse_formula("exists y (R2(x, y))")
+        assert free_variables(f) == {"x"}
+
+    def test_all_variables_includes_bound(self):
+        f = parse_formula("exists y (R2(x, y))")
+        assert all_variables(f) == {"x", "y"}
+
+    def test_bound_variables(self):
+        f = parse_formula("exists y (R2(x, y)) & forall z (S(z))")
+        assert bound_variables(f) == {"y", "z"}
+
+    def test_shadowing(self):
+        f = parse_formula("R(x) & exists x (S(x))")
+        assert free_variables(f) == {"x"}
+
+
+class TestStructure:
+    def test_subformulas_counts(self):
+        f = parse_formula("R(x) & ~S(x)")
+        subs = list(subformulas(f))
+        assert len(subs) == 4  # And, R, Not, S
+        assert formula_size(f) == 4
+
+    def test_relation_names(self):
+        f = parse_formula("R(x) & (S(x) | ~T(x))")
+        assert relation_names(f) == {"R", "S", "T"}
+
+    def test_function_names_and_depth(self):
+        f = parse_formula("g(f(x)) = y & R(x)")
+        assert formula_function_names(f) == {"f", "g"}
+        assert formula_function_depth(f) == 2
+
+    def test_formula_constants(self):
+        f = parse_formula("x = 3 & R2(x, 'lit')")
+        assert formula_constants(f) == {3, "lit"}
+
+    def test_conjuncts_disjuncts(self):
+        f = parse_formula("R(x) & S(x)")
+        assert len(conjuncts(f)) == 2
+        assert disjuncts(f) == (f,)
+
+
+class TestSubstitution:
+    def test_simple(self):
+        f = parse_formula("R(x)")
+        out = substitute(f, {"x": Const(9)})
+        assert out == RelAtom("R", (Const(9),))
+
+    def test_respects_binding(self):
+        f = parse_formula("exists x (R2(x, y))")
+        out = substitute(f, {"x": Const(1), "y": Const(2)})
+        # bound x untouched, free y replaced
+        assert free_variables(out) == frozenset()
+        assert "exists" in str(out)
+
+    def test_capture_avoidance(self):
+        # substituting y := x under a binder for x must rename the binder
+        f = parse_formula("exists x (R2(x, y))")
+        out = substitute(f, {"y": Var("x")})
+        assert isinstance(out, Exists)
+        assert out.vars[0] != "x"
+        assert "x" in free_variables(out)
+
+    def test_empty_mapping_identity(self):
+        f = parse_formula("R(x) & S(y)")
+        assert substitute(f, {}) is f
+
+
+class TestStandardizeApart:
+    def test_distinct_binders(self):
+        f = parse_formula("exists y (R2(x, y)) & exists y (S2(x, y))")
+        out = standardize_apart(f)
+        binders = [sub.vars for sub in subformulas(out) if isinstance(sub, Exists)]
+        flat = [v for vs in binders for v in vs]
+        assert len(flat) == len(set(flat))
+
+    def test_bound_disjoint_from_free(self):
+        f = parse_formula("R(x) & exists x (S(x))")
+        out = standardize_apart(f)
+        assert free_variables(out) == {"x"}
+        for sub in subformulas(out):
+            if isinstance(sub, Exists):
+                assert "x" not in sub.vars
+
+    def test_preserves_atoms_without_binders(self):
+        f = parse_formula("R(x) & ~S(y)")
+        assert standardize_apart(f) == f

@@ -1,0 +1,177 @@
+"""Tests for instance serialization and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data.instance import Instance
+from repro.data.io import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    save_instance,
+)
+from repro.data.relation import Relation
+from repro.errors import EvaluationError
+
+
+class TestInstanceJson:
+    def test_round_trip(self):
+        inst = Instance.of(R=[(1, 2), (3, 4)], S=["a", "b"])
+        assert instance_from_json(instance_to_json(inst)) == inst
+
+    def test_empty_relation_round_trip(self):
+        inst = Instance({"R": Relation.empty(3)})
+        assert instance_from_json(instance_to_json(inst)) == inst
+
+    def test_arity_inferred_from_rows(self):
+        inst = instance_from_json('{"R": {"rows": [[1, 2]]}}')
+        assert inst.relation("R").arity == 2
+
+    def test_empty_needs_arity(self):
+        with pytest.raises(EvaluationError):
+            instance_from_json('{"R": {"rows": []}}')
+
+    def test_invalid_json(self):
+        with pytest.raises(EvaluationError):
+            instance_from_json("{nope")
+
+    def test_non_object_payload(self):
+        with pytest.raises(EvaluationError):
+            instance_from_json("[1, 2]")
+
+    def test_missing_rows_key(self):
+        with pytest.raises(EvaluationError):
+            instance_from_json('{"R": {"arity": 1}}')
+
+    def test_stable_output(self):
+        inst = Instance.of(R=[(2,), (1,)])
+        assert instance_to_json(inst) == instance_to_json(inst)
+        payload = json.loads(instance_to_json(inst))
+        assert payload["R"]["rows"] == [[1], [2]]
+
+    def test_file_round_trip(self, tmp_path):
+        inst = Instance.of(EMP=[("ann", 1), ("bob", 2)])
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        assert load_instance(path) == inst
+
+
+class TestCli:
+    def test_check_em_allowed_query(self, capsys):
+        code = main(["check", "{ x | R(x) & ~S(x) }"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "em-allowed:       True" in out
+
+    def test_check_unsafe_query_nonzero_exit(self, capsys):
+        code = main(["check", "{ x | f(x) = x }"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not bounded" in out
+
+    def test_translate_prints_plan(self, capsys):
+        code = main(["translate", "{ g(f(x)) | R(x) }"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "project([g(f(@1))], R)" in out
+
+    def test_translate_trace_flag(self, capsys):
+        code = main(["translate", "{ x | R(x) & ~S(x) }", "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T15" in out
+
+    def test_translate_refuses_unsafe(self, capsys):
+        code = main(["translate", "{ x | f(x) = x }"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "refused" in err
+
+    def test_run_with_data_and_functions(self, tmp_path, capsys):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1], [2], [3]]}}')
+        funcs = tmp_path / "funcs.py"
+        funcs.write_text("FUNCTIONS = {'f': lambda v: v + 1}\n")
+        code = main([
+            "run", "{ x | R(x) & exists y (f(x) = y & ~R(y)) }",
+            "--data", str(data), "--functions", str(funcs),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result rows" in out
+        assert "\n  3" in out  # the single answer
+
+    def test_run_default_functions(self, tmp_path, capsys):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1], [2]]}}')
+        code = main(["run", "{ x | R(x) }", "--data", str(data)])
+        assert code == 0
+
+    def test_run_bad_functions_file(self, tmp_path, capsys):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1]]}}')
+        funcs = tmp_path / "funcs.py"
+        funcs.write_text("NOT_FUNCTIONS = 1\n")
+        code = main(["run", "{ f(x) | R(x) }", "--data", str(data),
+                     "--functions", str(funcs)])
+        assert code == 2
+
+    def test_parse_error_reported(self, capsys):
+        code = main(["check", "{ x | R(x"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_demo_lists_gallery(self, capsys):
+        code = main(["demo"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "q4" in out and "q5" in out
+
+
+class TestCliExplainAndModule:
+    def test_translate_explain_flag(self, capsys):
+        code = main(["translate", "{ x | R(x) & ~S(x) }", "--explain"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Diff" in out  # the operator tree
+
+    def test_module_entry_point_exists(self):
+        import importlib.util
+        spec = importlib.util.find_spec("repro.__main__")
+        assert spec is not None
+
+    def test_run_limit_truncates(self, tmp_path, capsys):
+        data = tmp_path / "inst.json"
+        data.write_text(
+            '{"R": {"arity": 1, "rows": [' +
+            ",".join(f"[{i}]" for i in range(30)) + ']}}')
+        code = main(["run", "{ x | R(x) }", "--data", str(data),
+                     "--limit", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "30 rows total" in out
+
+
+class TestTranslatedPlansTypeCheck:
+    def test_every_gallery_plan_is_well_typed(self):
+        from repro.algebra.ast import arity_of
+        from repro.translate import translate_query
+        from repro.workloads.gallery import GALLERY
+        for key, entry in GALLERY.items():
+            if not entry.translatable:
+                continue
+            res = translate_query(entry.query)
+            catalog = {d.name: d.arity for d in res.schema.relations}
+            assert arity_of(res.plan, catalog) == entry.query.arity, key
+
+    def test_corpus_plans_are_well_typed(self):
+        from repro.algebra.ast import arity_of
+        from repro.translate import translate_query
+        from repro.workloads.random_queries import random_em_allowed_query
+        for seed in range(15):
+            q = random_em_allowed_query(seed)
+            res = translate_query(q)
+            catalog = {d.name: d.arity for d in res.schema.relations}
+            assert arity_of(res.plan, catalog) == q.arity, seed

@@ -1,0 +1,117 @@
+"""Targeted coverage for branches the mainline tests pass by: nested
+disjunction safety, variadic cover union, printer trees, interpretation
+validation, and cross-criterion consistency on the practical queries."""
+
+import pytest
+
+from repro.algebra.ast import AdomK, Col, Condition, Join, Lit, Params, Rel, Select
+from repro.algebra.printer import explain, to_algebra_text
+from repro.core.parser import parse_formula
+from repro.core.schema import DatabaseSchema
+from repro.data.interpretation import Interpretation
+from repro.errors import EvaluationError
+from repro.finds.covers import cover_union
+from repro.finds.find import find
+from repro.finds.closure import entails
+from repro.safety.comparators import safe_top91
+from repro.safety.em_allowed import em_allowed
+from repro.safety.gen import allowed
+
+
+class TestNestedDisjunctionSafety:
+    def test_nested_or_inside_and_inside_or(self):
+        f = parse_formula(
+            "(R(x) & (S2(x, y) | R2(x, y))) | (T(y) & S2(y, x))")
+        assert em_allowed(f)
+
+    def test_safe_top91_nested_quantifier_context(self):
+        f = parse_formula(
+            "S(y) & exists w ((R2(x, w) & ~T(y)) | W(x, y, w))")
+        assert em_allowed(f)
+        assert safe_top91(f)
+
+    def test_allowed_with_nested_negated_disjunction(self):
+        f = parse_formula("R(x) & ~(S(x) | T(x))")
+        assert allowed(f)
+        assert em_allowed(f)
+
+    def test_deep_pushnot_tower(self):
+        f = parse_formula("R(x) & ~~~~S(x)")
+        assert em_allowed(f)
+
+
+class TestCoverUnionVariadic:
+    def test_three_way_union(self):
+        out = cover_union({find("", "x")}, {find("x", "y")}, {find("y", "z")})
+        assert entails(out, find("", "z"))
+
+    def test_empty_union(self):
+        assert cover_union() == frozenset()
+
+    def test_single_cover_reduced(self):
+        out = cover_union({find("x", "y"), find("x z", "y")})
+        assert out == {find("x", "y")}
+
+
+class TestPrinterTrees:
+    def test_explain_all_leaf_kinds(self):
+        assert "Rel R" in explain(Rel("R"))
+        assert "Lit" in explain(Lit(1, frozenset({(1,)})))
+        assert "Adom" in explain(AdomK(2, frozenset({5})))
+        assert "Params" in explain(Params(2))
+
+    def test_explain_nested_indentation(self):
+        plan = Select(frozenset({Condition(Col(1), "=", Col(2))}),
+                      Join(frozenset(), Rel("R"), Rel("S")))
+        text = explain(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("Select")
+        assert lines[1].startswith("  Join")
+        assert lines[2].startswith("    Rel")
+
+    def test_adom_text_with_extras(self):
+        text = to_algebra_text(AdomK(1, frozenset({3})))
+        assert "Adom" in text and "3" in text
+
+    def test_condition_symbols(self):
+        assert str(Condition(Col(1), "=", Col(2))) == "@1==@2"
+        assert str(Condition(Col(1), "<=", Col(2))) == "@1<=@2"
+
+
+class TestInterpretationValidation:
+    def test_validate_passes_when_complete(self):
+        schema = DatabaseSchema.of({}, {"f": 1})
+        Interpretation({"f": lambda v: v}).validate(schema)
+
+    def test_function_names_property(self):
+        interp = Interpretation({"f": lambda v: v, "g": lambda v: v})
+        assert set(interp.function_names) == {"f", "g"}
+
+    def test_contains(self):
+        interp = Interpretation({"f": lambda v: v})
+        assert "f" in interp and "g" not in interp
+
+    def test_missing_enumerator(self):
+        interp = Interpretation({"f": lambda v: v})
+        with pytest.raises(EvaluationError):
+            interp.enumerator("nope")
+
+    def test_repr_mentions_name(self):
+        interp = Interpretation({"f": lambda v: v}, name="demo")
+        assert "demo" in repr(interp)
+
+
+class TestCriterionConsistencyOnPractical:
+    """Every criterion that implies em-allowed must hold that way on
+    the practical scenarios' queries too."""
+
+    def test_hierarchy(self):
+        from repro.safety.comparators import range_restricted
+        from repro.workloads.practical import parts_scenario, payroll_scenario
+        for scenario in (payroll_scenario(), parts_scenario()):
+            for name, q in scenario.queries.items():
+                body = q.body
+                if allowed(body):
+                    assert em_allowed(body), f"{scenario.name}.{name}"
+                if range_restricted(body):
+                    assert em_allowed(body), f"{scenario.name}.{name}"

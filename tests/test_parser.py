@@ -1,0 +1,223 @@
+"""Unit and property tests for the parser and printer round-trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.formulas import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    RelAtom,
+)
+from repro.core.parser import parse_formula, parse_query, parse_term
+from repro.core.printer import to_sexpr, to_text
+from repro.core.schema import DatabaseSchema
+from repro.core.terms import Const, Func, Var
+from repro.errors import ParseError, SchemaError
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("x") == Var("x")
+
+    def test_integer(self):
+        assert parse_term("42") == Const(42)
+
+    def test_negative_and_float(self):
+        assert parse_term("-3") == Const(-3)
+        assert parse_term("2.5") == Const(2.5)
+
+    def test_string_literals(self):
+        assert parse_term("'abc'") == Const("abc")
+        assert parse_term('"abc"') == Const("abc")
+
+    def test_nested_application(self):
+        assert parse_term("g(f(x))") == Func("g", (Func("f", (Var("x"),)),))
+
+    def test_multi_arg(self):
+        assert parse_term("pair(x, 1)") == Func("pair", (Var("x"), Const(1)))
+
+
+class TestFormulas:
+    def test_relation_atom(self):
+        assert parse_formula("R(x, y)") == RelAtom("R", (Var("x"), Var("y")))
+
+    def test_equality(self):
+        f = parse_formula("f(x) = y")
+        assert f == Equals(Func("f", (Var("x"),)), Var("y"))
+
+    def test_inequality_is_negated_equals(self):
+        f = parse_formula("x != y")
+        assert f == Not(Equals(Var("x"), Var("y")))
+
+    def test_precedence_and_binds_tighter(self):
+        f = parse_formula("R(x) & S(x) | T(x)")
+        assert isinstance(f, Or)
+        assert isinstance(f.children[0], And)
+
+    def test_parentheses(self):
+        f = parse_formula("R(x) & (S(x) | T(x))")
+        assert isinstance(f, And)
+        assert isinstance(f.children[1], Or)
+
+    def test_negation(self):
+        f = parse_formula("~R(x)")
+        assert f == Not(RelAtom("R", (Var("x"),)))
+
+    def test_quantifiers_multi_var(self):
+        f = parse_formula("exists x y (R2(x, y))")
+        assert isinstance(f, Exists)
+        assert f.vars == ("x", "y")
+
+    def test_forall(self):
+        f = parse_formula("forall x (R(x))")
+        assert isinstance(f, Forall)
+
+    def test_unicode_aliases(self):
+        f = parse_formula("R(x) ∧ ¬S(x) ∨ T(x)")
+        assert isinstance(f, Or)
+
+    def test_word_operators(self):
+        f = parse_formula("R(x) and not S(x) or T(x)")
+        assert isinstance(f, Or)
+
+    def test_quantifier_over_applied_name_stops_variable_list(self):
+        # 'exists y R2(x, y)' — R2 is applied, so the variable list is just y
+        f = parse_formula("exists y R2(x, y)")
+        assert isinstance(f, Exists)
+        assert f.vars == ("y",)
+
+
+class TestQueries:
+    def test_simple_query(self):
+        q = parse_query("{ x | R(x) }")
+        assert q.head == (Var("x"),)
+
+    def test_function_head(self):
+        q = parse_query("{ g(f(x)) | R(x) }")
+        assert q.head[0] == Func("g", (Func("f", (Var("x"),)),))
+
+    def test_head_body_bar_split(self):
+        q = parse_query("{ x, y | R(x) & S(y) | R2(x, y) }")
+        assert len(q.head) == 2
+        assert isinstance(q.body, Or)
+
+
+class TestErrors:
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse_query("{ x | R(x)")
+
+    def test_bare_term_is_not_formula(self):
+        with pytest.raises(ParseError):
+            parse_formula("x")
+
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError):
+            parse_formula("R(x) )")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            parse_formula("R(x) @ S(x)")
+
+    def test_case_convention_function_as_relation(self):
+        with pytest.raises(ParseError):
+            parse_formula("r(x)")  # lower-case => function, not atom
+
+    def test_case_convention_relation_as_function(self):
+        with pytest.raises(ParseError):
+            parse_formula("R(S(x))")  # S applied in term position
+
+
+class TestSchemaDriven:
+    def test_schema_resolves_lowercase_relation(self):
+        schema = DatabaseSchema.of({"emp": 2}, {"f": 1})
+        f = parse_formula("emp(x, y)", schema)
+        assert isinstance(f, RelAtom)
+
+    def test_schema_arity_check(self):
+        schema = DatabaseSchema.of({"R": 2}, {})
+        with pytest.raises(SchemaError):
+            parse_formula("R(x)", schema)
+
+    def test_schema_function_arity_check(self):
+        schema = DatabaseSchema.of({"R": 1}, {"f": 2})
+        with pytest.raises(SchemaError):
+            parse_formula("R(x) & f(x) = y", schema)
+
+    def test_schema_relation_in_term_position(self):
+        schema = DatabaseSchema.of({"R": 1, "S": 1}, {})
+        with pytest.raises(ParseError):
+            parse_formula("R(x) & S(x) = y", schema)
+
+
+FORMULAS = [
+    "R(x)",
+    "~R(x)",
+    "x != y",
+    "f(x) = y",
+    "R(x) & S(y) & x = y",
+    "R(x) | S(x)",
+    "R(x) & (S(x) | ~T(x))",
+    "exists y (R2(x, y) & f(y) = x)",
+    "forall z (~R(z) | S(z))",
+    "R(x) & ~exists y (R2(x, y))",
+    "~(R(x) & S(x))",
+    "g(f(x)) = k(x)",
+    "x = 3 & R2(x, y)",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_formula_round_trip(self, text):
+        f = parse_formula(text)
+        assert parse_formula(to_text(f)) == f
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_sexpr_renders(self, text):
+        assert to_sexpr(parse_formula(text)).startswith("(")
+
+    def test_query_round_trip(self):
+        q = parse_query("{ x, g(f(x)) | R(x) & exists y (R2(x, y)) }")
+        assert parse_query(to_text(q)) == q
+
+
+@st.composite
+def formula_strategy(draw, depth=3):
+    if depth == 0:
+        kind = draw(st.sampled_from(["rel", "eq"]))
+    else:
+        kind = draw(st.sampled_from(["rel", "eq", "not", "and", "or", "exists", "forall"]))
+    if kind == "rel":
+        name = draw(st.sampled_from(["R", "S"]))
+        return RelAtom(name, (draw(st.sampled_from([Var("x"), Var("y"), Const(1)])),))
+    if kind == "eq":
+        left = draw(st.sampled_from([Var("x"), Func("f", (Var("y"),)), Const(2)]))
+        right = draw(st.sampled_from([Var("y"), Const(0)]))
+        return Equals(left, right)
+    if kind == "not":
+        return Not(draw(formula_strategy(depth=depth - 1)))
+    if kind in ("and", "or"):
+        ctor = And if kind == "and" else Or
+        children = tuple(draw(formula_strategy(depth=depth - 1)) for _ in range(2))
+        return ctor(children)
+    ctor = Exists if kind == "exists" else Forall
+    body = draw(formula_strategy(depth=depth - 1))
+    from repro.core.formulas import free_variables
+    frees = sorted(free_variables(body))
+    if not frees:
+        return body
+    return ctor((frees[0],), body)
+
+
+class TestRoundTripProperty:
+    @given(formula_strategy())
+    def test_parse_print_stable_after_one_normalization(self, f):
+        # The parser flattens nested And/Or, so print-parse is stable
+        # from the first reparse onward.
+        reparsed = parse_formula(to_text(f))
+        assert parse_formula(to_text(reparsed)) == reparsed

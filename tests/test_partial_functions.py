@@ -1,0 +1,145 @@
+"""Tests for partial scalar functions (Section 9 practical setting).
+
+The fixed semantics: an atom whose term evaluation is UNDEFINED is
+false (so its negation is true), constructed rows containing UNDEFINED
+are dropped, and UNDEFINED never enters the term closure.  The key
+property is *agreement*: the calculus reference semantics, the algebra
+evaluator, and the physical engine must treat undefinedness
+identically on translated plans.
+"""
+
+import pytest
+
+from repro.algebra.evaluator import evaluate
+from repro.core.parser import parse_formula, parse_query
+from repro.core.terms import evaluate_term, Func, Var
+from repro.data.instance import Instance
+from repro.data.interpretation import (
+    UNDEFINED,
+    Interpretation,
+    partial_function,
+)
+from repro.engine.executor import execute
+from repro.semantics.eval_calculus import evaluate_query, satisfies
+from repro.translate.pipeline import translate_query
+
+
+@pytest.fixture
+def inst():
+    return Instance.of(R=[(0,), (4,), (9,), (10,)], S=[(2,), (3,)])
+
+
+@pytest.fixture
+def interp():
+    """isqrt is defined only on perfect squares; half only on evens."""
+    def isqrt(v):
+        if not isinstance(v, int) or v < 0:
+            return UNDEFINED
+        root = int(v ** 0.5)
+        return root if root * root == v else UNDEFINED
+
+    def half(v):
+        if isinstance(v, int) and v % 2 == 0:
+            return v // 2
+        return UNDEFINED
+
+    return Interpretation({"isqrt": isqrt, "half": half})
+
+
+class TestSentinel:
+    def test_singleton(self):
+        from repro.data.interpretation import _Undefined
+        assert _Undefined() is UNDEFINED
+
+    def test_falsy_and_repr(self):
+        assert not UNDEFINED
+        assert repr(UNDEFINED) == "UNDEFINED"
+
+    def test_partial_function_wrapper(self):
+        f = partial_function(lambda v: 10 // v)
+        assert f(2) == 5
+        assert f(0) is UNDEFINED  # ZeroDivisionError -> UNDEFINED
+
+    def test_partial_function_none_result(self):
+        table = {1: "one"}
+        f = partial_function(lambda v: table.get(v))
+        assert f(1) == "one"
+        assert f(2) is UNDEFINED
+
+
+class TestTermEvaluation:
+    def test_application_outside_domain(self, interp):
+        t = Func("isqrt", (Var("x"),))
+        assert evaluate_term(t, {"x": 5}, interp) is UNDEFINED
+
+    def test_strict_propagation(self, interp):
+        t = Func("half", (Func("isqrt", (Var("x"),)),))
+        assert evaluate_term(t, {"x": 5}, interp) is UNDEFINED
+        assert evaluate_term(t, {"x": 4}, interp) == 1
+
+
+class TestFormulaSemantics:
+    def test_undefined_equality_false(self, inst, interp):
+        f = parse_formula("isqrt(x) = y")
+        assert not satisfies(f, {"x": 5, "y": 2}, inst, interp, [2, 5])
+
+    def test_undefined_inequality_true(self, inst, interp):
+        f = parse_formula("isqrt(x) != y")
+        assert satisfies(f, {"x": 5, "y": 2}, inst, interp, [2, 5])
+
+    def test_undefined_relation_atom_false(self, inst, interp):
+        f = parse_formula("S(isqrt(x))")
+        assert not satisfies(f, {"x": 5}, inst, interp, [5])
+        assert satisfies(f, {"x": 4}, inst, interp, [4])
+
+    def test_undefined_comparison_false(self, inst, interp):
+        f = parse_formula("isqrt(x) < 100")
+        assert not satisfies(f, {"x": 5}, inst, interp, [5])
+
+
+class TestPipelineAgreement:
+    QUERIES = [
+        # constructive atom: rows without a square root vanish
+        "{ x, r | R(x) & isqrt(x) = r }",
+        # head application: undefined head rows are dropped
+        "{ isqrt(x) | R(x) }",
+        # negation over a partial application: ~S(isqrt(x)) is TRUE
+        # where isqrt is undefined
+        "{ x | R(x) & ~S(isqrt(x)) }",
+        # comparison on a partial value
+        "{ x | R(x) & half(x) > 1 }",
+        # negated comparison (generic subtraction path, not complement)
+        "{ x | R(x) & ~(half(x) > 1) }",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_three_way_agreement(self, text, inst, interp):
+        q = parse_query(text)
+        res = translate_query(q)
+        want = evaluate_query(q, inst, interp)
+        via_sets = evaluate(res.plan, inst, interp, schema=res.schema)
+        via_engine = execute(res.plan, inst, interp, schema=res.schema).result
+        assert via_sets == want, text
+        assert via_engine == want, text
+
+    def test_constructive_drops_undefined(self, inst, interp):
+        q = parse_query("{ x, r | R(x) & isqrt(x) = r }")
+        res = translate_query(q)
+        out = evaluate(res.plan, inst, interp, schema=res.schema)
+        assert out.rows == {(0, 0), (4, 2), (9, 3)}  # 10 has no root
+
+    def test_negation_true_on_undefined(self, inst, interp):
+        q = parse_query("{ x | R(x) & ~S(isqrt(x)) }")
+        res = translate_query(q)
+        out = evaluate(res.plan, inst, interp, schema=res.schema)
+        # isqrt: 0->0, 4->2 (in S!), 9->3 (in S!), 10->undefined (atom
+        # false, negation true)
+        assert out.rows == {(0,), (10,)}
+
+    def test_closure_skips_undefined(self, inst, interp):
+        from repro.core.schema import DatabaseSchema
+        from repro.data.domain import term_closure
+        schema = DatabaseSchema.of({}, {"isqrt": 1})
+        out = term_closure([4, 5], 2, interp, schema)
+        assert UNDEFINED not in out
+        assert out == {4, 5, 2}  # isqrt(4)=2, isqrt(5)/isqrt(2) undefined

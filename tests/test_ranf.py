@@ -1,0 +1,99 @@
+"""Tests for the formula-level RANF view: the [BB79] conjunction order
+and the RANF predicate, pinned to the paper's narrative."""
+
+import pytest
+
+from repro.core.formulas import And, Equals, Not, RelAtom
+from repro.core.parser import parse_formula
+from repro.finds.annotations import nonneg_sum_registry
+from repro.translate.enf import to_enf
+from repro.translate.ranf import bound_by_conjunct, conjunction_order, is_ranf
+from repro.workloads.gallery import GALLERY
+
+
+def _conjuncts(text: str):
+    f = parse_formula(text)
+    return list(f.children) if isinstance(f, And) else [f]
+
+
+class TestConjunctionOrder:
+    def test_atoms_before_constructions_before_negations(self):
+        order = conjunction_order(_conjuncts("~S(y) & f(x) = y & R(x)"))
+        assert [type(c).__name__ for c in order] == ["RelAtom", "Equals", "Not"]
+
+    def test_dependency_chain_ordered(self):
+        order = conjunction_order(_conjuncts("g(y) = z & f(x) = y & R(x)"))
+        assert order is not None
+        texts = [str(c) for c in order]
+        assert texts.index("f(x) = y") < texts.index("g(y) = z")
+
+    def test_unorderable_returns_none(self):
+        # nothing bounds x
+        assert conjunction_order(_conjuncts("f(x) = y & ~S(y)")) is None
+
+    def test_context_variables_unlock(self):
+        assert conjunction_order(_conjuncts("f(x) = y & ~S(y)"),
+                                 bounded=["x"]) is not None
+
+    def test_q4_enf_is_stuck_without_t10(self):
+        """The paper's claim at the formula level: the ENF of q4's body
+        cannot be ordered by T13-T16 alone."""
+        enf = to_enf(GALLERY["q4"].query.body)
+        assert isinstance(enf, And)
+        assert conjunction_order(list(enf.children)) is None
+
+    def test_annotations_unlock_the_conclusion_example(self):
+        conjuncts = _conjuncts("R(w) & plus(u, v) = w")
+        assert conjunction_order(conjuncts) is None
+        assert conjunction_order(conjuncts,
+                                 annotations=nonneg_sum_registry()) is not None
+
+
+class TestBoundByConjunct:
+    def test_atom_binds_new_top_level_vars(self):
+        atom = parse_formula("R2(x, y)")
+        assert set(bound_by_conjunct(atom, ("x",))) == {"y"}
+
+    def test_constructive_equality_binds_target(self):
+        eq = parse_formula("f(x) = y")
+        assert bound_by_conjunct(eq, ("x",)) == ("y",)
+
+    def test_selection_binds_nothing(self):
+        eq = parse_formula("f(x) = y")
+        assert bound_by_conjunct(eq, ("x", "y")) == ()
+
+    def test_negation_binds_nothing(self):
+        neg = parse_formula("~R(x)")
+        assert bound_by_conjunct(neg, ("x",)) == ()
+
+
+class TestIsRanf:
+    @pytest.mark.parametrize("key", [
+        k for k, e in GALLERY.items() if e.translatable and not e.needs_t10
+    ])
+    def test_enf_of_translatable_queries_is_ranf(self, key):
+        enf = to_enf(GALLERY[key].query.body)
+        assert is_ranf(enf), key
+
+    def test_q4_enf_not_ranf(self):
+        enf = to_enf(GALLERY["q4"].query.body)
+        assert not is_ranf(enf)
+
+    def test_forall_never_ranf(self):
+        assert not is_ranf(parse_formula("forall y (R(y))"))
+
+    def test_negation_requires_context(self):
+        f = parse_formula("~R(x)")
+        assert not is_ranf(f)
+        assert is_ranf(f, bounded=["x"])
+
+    def test_disjunction_per_branch(self):
+        f = parse_formula("(R(x) & f(x) = y) | (S(y) & g(y) = x)")
+        assert is_ranf(f)  # q5
+
+    def test_random_corpus_enf_is_ranf(self):
+        from repro.workloads.random_queries import random_em_allowed_query
+        for seed in range(15):
+            q = random_em_allowed_query(seed)
+            enf = to_enf(q.standardized().body)
+            assert is_ranf(enf), (seed, q)

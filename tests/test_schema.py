@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.schema."""
+
+import pytest
+
+from repro.core.parser import parse_formula, parse_query
+from repro.core.schema import DatabaseSchema, FunctionSignature, RelationSchema
+from repro.errors import SchemaError
+
+
+class TestDeclarations:
+    def test_relation_str_with_columns(self):
+        r = RelationSchema("EMP", 2, ("name", "salary"))
+        assert "name" in str(r)
+
+    def test_relation_negative_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", -1)
+
+    def test_relation_column_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", 2, ("only",))
+
+    def test_function_arity_zero_rejected(self):
+        with pytest.raises(SchemaError):
+            FunctionSignature("f", 0)
+
+    def test_duplicate_relation(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("R", 1), RelationSchema("R", 2)])
+
+    def test_name_shared_between_relation_and_function(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("f", 1)], [FunctionSignature("f", 1)])
+
+
+class TestLookup:
+    def test_of_shorthand(self):
+        s = DatabaseSchema.of({"R": 2}, {"f": 1})
+        assert s.relation("R").arity == 2
+        assert s.function("f").arity == 1
+
+    def test_unknown_relation(self):
+        s = DatabaseSchema.of({"R": 1})
+        with pytest.raises(SchemaError):
+            s.relation("missing")
+
+    def test_with_relation_extends(self):
+        s = DatabaseSchema.of({"R": 1})
+        s2 = s.with_relation("S", 2).with_function("f", 1)
+        assert s2.has_relation("S") and s2.has_function("f")
+        assert not s.has_relation("S")  # original untouched
+
+    def test_iteration(self):
+        s = DatabaseSchema.of({"R": 1, "S": 2})
+        assert {r.name for r in s} == {"R", "S"}
+
+
+class TestValidation:
+    def test_validate_formula_ok(self):
+        s = DatabaseSchema.of({"R": 1}, {"f": 1})
+        s.validate_formula(parse_formula("R(x) & f(x) = y"))
+
+    def test_validate_relation_arity(self):
+        s = DatabaseSchema.of({"R": 1}, {})
+        with pytest.raises(SchemaError):
+            s.validate_formula(parse_formula("R(x, y)"))
+
+    def test_validate_function_arity_in_head(self):
+        s = DatabaseSchema.of({"R": 1}, {"f": 2})
+        with pytest.raises(SchemaError):
+            s.validate_query(parse_query("{ f(x) | R(x) }"))
+
+    def test_validate_undeclared_relation(self):
+        s = DatabaseSchema.of({"R": 1}, {})
+        with pytest.raises(SchemaError):
+            s.validate_formula(parse_formula("Q(x)"))

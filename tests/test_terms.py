@@ -1,0 +1,160 @@
+"""Unit tests for repro.core.terms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.terms import (
+    Const,
+    Func,
+    Var,
+    constants,
+    evaluate_term,
+    function_depth,
+    function_names,
+    is_ground,
+    substitute_term,
+    term_size,
+    top_level_variables,
+    variables,
+    walk_term,
+)
+
+
+class TestConstruction:
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_func_requires_name(self):
+        with pytest.raises(ValueError):
+            Func("", (Var("x"),))
+
+    def test_func_coerces_args_to_tuple(self):
+        t = Func("f", [Var("x")])
+        assert isinstance(t.args, tuple)
+
+    def test_func_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Func("f", ("x",))
+
+    def test_terms_are_hashable_and_equal_structurally(self):
+        a = Func("f", (Var("x"), Const(1)))
+        b = Func("f", (Var("x"), Const(1)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Func("g", (Var("x"), Const(1)))
+
+    def test_arity(self):
+        assert Func("f", (Var("x"), Var("y"))).arity == 2
+
+
+class TestStructure:
+    def test_walk_preorder(self):
+        t = Func("f", (Var("x"), Func("g", (Const(1),))))
+        nodes = list(walk_term(t))
+        assert nodes[0] == t
+        assert Var("x") in nodes
+        assert Const(1) in nodes
+        assert len(nodes) == 4
+
+    def test_variables_nested(self):
+        t = Func("f", (Var("x"), Func("g", (Var("y"),))))
+        assert variables(t) == {"x", "y"}
+
+    def test_top_level_variables_only_bare(self):
+        assert top_level_variables(Var("x")) == {"x"}
+        assert top_level_variables(Func("f", (Var("x"),))) == frozenset()
+        assert top_level_variables(Const(3)) == frozenset()
+
+    def test_constants(self):
+        t = Func("f", (Const("a"), Func("g", (Const(2),))))
+        assert constants(t) == {"a", 2}
+
+    def test_function_names(self):
+        t = Func("f", (Func("g", (Var("x"),)),))
+        assert function_names(t) == {"f", "g"}
+
+    def test_function_depth(self):
+        assert function_depth(Var("x")) == 0
+        assert function_depth(Func("f", (Var("x"),))) == 1
+        assert function_depth(Func("g", (Func("f", (Var("x"),)),))) == 2
+        wide = Func("pair", (Var("x"), Func("f", (Var("y"),))))
+        assert function_depth(wide) == 2
+
+    def test_term_size(self):
+        assert term_size(Var("x")) == 1
+        assert term_size(Func("f", (Var("x"), Const(1)))) == 3
+
+    def test_is_ground(self):
+        assert is_ground(Func("f", (Const(1),)))
+        assert not is_ground(Func("f", (Var("x"),)))
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        assert substitute_term(Var("x"), {"x": Const(5)}) == Const(5)
+
+    def test_substitute_missing_is_identity(self):
+        t = Func("f", (Var("x"),))
+        assert substitute_term(t, {"y": Const(1)}) is t
+
+    def test_substitute_nested(self):
+        t = Func("f", (Var("x"), Func("g", (Var("x"),))))
+        out = substitute_term(t, {"x": Var("z")})
+        assert variables(out) == {"z"}
+
+    def test_substitution_is_simultaneous(self):
+        t = Func("pair", (Var("x"), Var("y")))
+        out = substitute_term(t, {"x": Var("y"), "y": Var("x")})
+        assert out == Func("pair", (Var("y"), Var("x")))
+
+
+class TestEvaluation:
+    def test_evaluate_constant(self):
+        assert evaluate_term(Const(7), {}, {}) == 7
+
+    def test_evaluate_variable(self):
+        assert evaluate_term(Var("x"), {"x": 3}, {}) == 3
+
+    def test_evaluate_nested_application(self):
+        t = Func("g", (Func("f", (Var("x"),)),))
+        funcs = {"f": lambda v: v + 1, "g": lambda v: v * 10}
+        assert evaluate_term(t, {"x": 4}, funcs) == 50
+
+    def test_evaluate_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_term(Var("x"), {}, {})
+
+    def test_evaluate_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_term(Func("f", (Const(1),)), {}, {})
+
+
+@st.composite
+def term_strategy(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Var(draw(st.sampled_from(["x", "y", "z"])))
+        return Const(draw(st.integers(-5, 5)))
+    name = draw(st.sampled_from(["f", "g"]))
+    n_args = draw(st.integers(1, 2))
+    args = tuple(draw(term_strategy(depth=depth - 1)) for _ in range(n_args))
+    return Func(name, args)
+
+
+class TestProperties:
+    @given(term_strategy())
+    def test_walk_count_matches_size(self, t):
+        assert term_size(t) == len(list(walk_term(t)))
+
+    @given(term_strategy())
+    def test_substituting_fresh_var_is_noop(self, t):
+        assert substitute_term(t, {"not_there": Const(0)}) == t
+
+    @given(term_strategy())
+    def test_top_level_subset_of_variables(self, t):
+        assert top_level_variables(t) <= variables(t)
+
+    @given(term_strategy())
+    def test_ground_iff_no_variables(self, t):
+        assert is_ground(t) == (not variables(t))

@@ -1,0 +1,48 @@
+"""Unit tests for the translation trace machinery."""
+
+from repro.translate.trace import TraceStep, TranslationTrace
+
+
+class TestTraceStep:
+    def test_str(self):
+        step = TraceStep("T10", "ranf", "push negation")
+        assert str(step) == "[ranf:T10] push negation"
+
+    def test_immutability(self):
+        step = TraceStep("T1", "enf", "x")
+        assert hash(step) == hash(TraceStep("T1", "enf", "x"))
+
+
+class TestTranslationTrace:
+    def test_record_and_count(self):
+        trace = TranslationTrace()
+        trace.record("T1", "enf", "a")
+        trace.record("T1", "enf", "b")
+        trace.record("T15", "ranf", "c")
+        assert trace.count() == 3
+        assert trace.count("T1") == 2
+        assert trace.count("T99") == 0
+
+    def test_counts_dict(self):
+        trace = TranslationTrace()
+        trace.record("T13", "ranf", "x")
+        trace.record("T13", "ranf", "y")
+        assert trace.counts() == {"T13": 2}
+
+    def test_names_in_order(self):
+        trace = TranslationTrace()
+        for name in ("T6", "T1", "T13"):
+            trace.record(name, "enf", name)
+        assert trace.names() == ["T6", "T1", "T13"]
+
+    def test_render(self):
+        trace = TranslationTrace()
+        trace.record("T10", "ranf", "the interesting one")
+        text = trace.render()
+        assert "[ranf:T10]" in text and "interesting" in text
+
+    def test_empty_trace(self):
+        trace = TranslationTrace()
+        assert trace.count() == 0
+        assert trace.counts() == {}
+        assert trace.render() == ""

@@ -1,0 +1,189 @@
+"""End-to-end translation tests: the paper's plans, T10 behaviour, the
+baseline, and the correctness property over the random corpus."""
+
+import pytest
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.printer import to_algebra_text
+from repro.core.parser import parse_query
+from repro.data.interpretation import Interpretation
+from repro.errors import (
+    NotEmAllowedError,
+    TransformationStuckError,
+)
+from repro.semantics.eval_calculus import evaluate_query
+from repro.translate.baseline_adom import translate_query_adom
+from repro.translate.pipeline import translate_query
+from repro.workloads.families import family_instance
+from repro.workloads.gallery import GALLERY, gallery_instance, standard_gallery_interp
+from repro.workloads.random_queries import random_em_allowed_query
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return gallery_instance()
+
+
+@pytest.fixture(scope="module")
+def interp():
+    return standard_gallery_interp()
+
+
+class TestPaperPlans:
+    def test_q1_compiles_to_extended_projection(self):
+        res = translate_query(parse_query("{ g(f(x)) | R(x) }"))
+        assert to_algebra_text(res.plan) == "project([g(f(@1))], R)"
+
+    def test_gt91_difference_shape(self):
+        res = translate_query(parse_query("{ x, y, z | R3(x, y, z) & ~S2(y, z) }"))
+        assert to_algebra_text(res.plan) == \
+            "(R3 - project([@1,@2,@3], join({@2==@4, @3==@5}, R3, S2)))"
+
+    def test_q5_union_of_opposite_projections(self):
+        res = translate_query(parse_query(
+            "{ x, y | (R(x) & f(x) = y) | (S(y) & g(y) = x) }"))
+        assert to_algebra_text(res.plan) == \
+            "(project([@1,f(@1)], R) + project([g(@1),@1], S))"
+
+    def test_flagship_uses_difference_on_computed_column(self):
+        res = translate_query(parse_query(
+            "{ x | R(x) & exists y (f(x) = y & ~R(y)) }"))
+        text = to_algebra_text(res.plan)
+        assert "f(@1)" in text and " - " in text
+
+
+class TestSafetyGate:
+    def test_refuses_non_em_allowed(self):
+        with pytest.raises(NotEmAllowedError):
+            translate_query(parse_query("{ x | f(x) = x }"))
+
+    def test_check_can_be_disabled_then_stuck(self):
+        with pytest.raises(TransformationStuckError):
+            translate_query(parse_query("{ x | f(x) = x }"), check_safety=False)
+
+
+class TestT10:
+    def test_q4_needs_t10(self):
+        q = GALLERY["q4"].query
+        res = translate_query(q)
+        assert res.trace.count("T10") >= 1
+        with pytest.raises(TransformationStuckError):
+            translate_query(q, enable_t10=False)
+
+    def test_t10_not_fired_gratuitously(self):
+        for key in ("q1", "q2", "q3", "q5", "ex74"):
+            res = translate_query(GALLERY[key].query)
+            assert res.trace.count("T10") == 0, key
+
+    def test_t10_family_scales(self):
+        from repro.workloads.families import t10_family_query
+        for n in (2, 3, 4):
+            q = t10_family_query(n)
+            res = translate_query(q)
+            assert res.trace.count("T10") >= 1
+            with pytest.raises(TransformationStuckError):
+                translate_query(q, enable_t10=False)
+
+    def test_t10_family_degenerate_case_needs_only_t7(self):
+        from repro.workloads.families import t10_family_query
+        res = translate_query(t10_family_query(1))
+        assert res.trace.count("T10") == 0
+
+    def test_ex74_uses_t13(self):
+        res = translate_query(GALLERY["ex74"].query)
+        assert res.trace.count("T13") >= 1
+
+    def test_constructive_atoms_traced_as_t16(self):
+        res = translate_query(parse_query("{ x, y | R(x) & f(x) = y }"))
+        assert res.trace.count("T16") == 1
+
+    def test_negations_traced_as_t15(self):
+        res = translate_query(parse_query("{ x | R(x) & ~S(x) }"))
+        assert res.trace.count("T15") == 1
+
+
+class TestGalleryCorrectness:
+    @pytest.mark.parametrize("key", [k for k, e in GALLERY.items() if e.translatable])
+    def test_translation_matches_reference(self, key, inst, interp):
+        q = GALLERY[key].query
+        res = translate_query(q)
+        got = evaluate(res.plan, inst, interp, schema=res.schema)
+        want = evaluate_query(q, inst, interp)
+        assert got == want, f"{key}: {to_algebra_text(res.plan)}"
+
+    @pytest.mark.parametrize("key", [k for k, e in GALLERY.items() if e.translatable])
+    def test_baseline_matches_reference(self, key, inst, interp):
+        q = GALLERY[key].query
+        plan = translate_query_adom(q)
+        from repro.semantics.eval_calculus import query_schema
+        got = evaluate(plan, inst, interp, schema=query_schema(q))
+        want = evaluate_query(q, inst, interp)
+        assert got == want, key
+
+
+class TestRandomCorpus:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_translation_agrees_with_reference(self, seed):
+        interp = Interpretation({
+            "f": lambda v: (_n(v) * 7 + 1) % 11,
+            "g": lambda v: (_n(v) * 3 + 2) % 11,
+            "h": lambda v: (_n(v) * 5 + 3) % 11,
+        })
+        q = random_em_allowed_query(seed)
+        inst = family_instance(q, n_rows=5, universe_size=6, seed=seed)
+        res = translate_query(q)
+        got = evaluate(res.plan, inst, interp, schema=res.schema)
+        want = evaluate_query(q, inst, interp)
+        assert got == want, f"seed {seed}: {q}"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_baseline_agrees_with_reference(self, seed):
+        interp = Interpretation({
+            "f": lambda v: (_n(v) * 7 + 1) % 11,
+            "g": lambda v: (_n(v) * 3 + 2) % 11,
+            "h": lambda v: (_n(v) * 5 + 3) % 11,
+        })
+        q = random_em_allowed_query(seed)
+        inst = family_instance(q, n_rows=4, universe_size=5, seed=seed)
+        plan = translate_query_adom(q)
+        from repro.semantics.eval_calculus import query_schema
+        got = evaluate(plan, inst, interp, schema=query_schema(q))
+        want = evaluate_query(q, inst, interp)
+        assert got == want, f"seed {seed}: {q}"
+
+
+class TestTraceReporting:
+    def test_counts_and_render(self):
+        res = translate_query(GALLERY["q4"].query)
+        counts = res.trace.counts()
+        assert counts.get("T10", 0) >= 1
+        rendered = res.trace.render()
+        assert "T10" in rendered and "ranf" in rendered
+        assert res.trace.count() == len(res.trace.steps)
+
+    def test_plan_size_reported(self):
+        res = translate_query(GALLERY["q1"].query)
+        assert res.plan_size >= 2
+
+
+def _n(value) -> int:
+    return value if isinstance(value, int) else hash(str(value)) % 97
+
+
+class TestTranslateFormula:
+    def test_returns_enf_and_context(self):
+        from repro.core.parser import parse_formula
+        from repro.translate.pipeline import translate_formula
+        from repro.translate.enf import is_enf
+        enf, ctx = translate_formula(parse_formula("R(x) & ~S(x)"))
+        assert is_enf(enf)
+        assert ctx.vars == ("x",)
+
+    def test_trace_not_duplicated(self):
+        from repro.core.parser import parse_formula
+        from repro.translate.pipeline import translate_formula
+        from repro.translate.trace import TranslationTrace
+        trace = TranslationTrace()
+        translate_formula(parse_formula("forall y (~R2(x, y) | R(y)) & R(x)"),
+                          trace)
+        assert trace.count("T6") == 1  # forall eliminated exactly once
