@@ -27,6 +27,7 @@ Package map:
 * :mod:`repro.translate` — the four-step translation (T1–T16);
 * :mod:`repro.semantics` — reference evaluation and EDI checking;
 * :mod:`repro.engine` — physical operators for performance experiments;
+* :mod:`repro.obs` — span tracing, metrics, and EXPLAIN ANALYZE profiles;
 * :mod:`repro.workloads` — the paper's query gallery and benchmark families.
 """
 
@@ -49,6 +50,12 @@ from repro.errors import (
     TransformationStuckError,
     TranslationError,
 )
+from repro.obs import (
+    ExecutionProfile,
+    MetricsRegistry,
+    SpanTracer,
+    render_explain_analyze,
+)
 from repro.safety import bd, em_allowed, em_allowed_query
 from repro.semantics import edi_witness, evaluate_query
 from repro.translate import translate_query, translate_query_adom
@@ -67,6 +74,9 @@ __all__ = [
     "translate_query", "translate_query_adom", "to_algebra_text",
     # evaluation
     "evaluate", "evaluate_query", "edi_witness",
+    # observability
+    "SpanTracer", "MetricsRegistry", "ExecutionProfile",
+    "render_explain_analyze",
     # errors
     "ReproError", "ParseError", "SchemaError", "SafetyError",
     "NotEmAllowedError", "TranslationError", "TransformationStuckError",

@@ -91,11 +91,19 @@ def _satisfies(conds: frozenset[Condition], row: tuple,
 def evaluate(expr: AlgebraExpr, instance: Instance,
              interpretation: Interpretation,
              schema: DatabaseSchema | None = None,
-             stats: EvalStats | None = None) -> Relation:
+             stats: EvalStats | None = None,
+             profile=None) -> Relation:
     """Evaluate ``expr`` to a relation.
 
     ``schema`` is required only when the plan contains :class:`AdomK`
     (the active-domain closure needs the function signatures).
+
+    ``profile`` (an :class:`~repro.obs.profile.ExecutionProfile`)
+    additionally records one stats node per algebra node — rows
+    produced, calls, and cumulative elapsed time — mirroring what the
+    physical engine records, so the reference evaluator supports the
+    same ``EXPLAIN ANALYZE`` rendering.  ``None`` (the default) leaves
+    the evaluation path untouched.
     """
 
     def record(name: str, rel: Relation) -> Relation:
@@ -103,7 +111,7 @@ def evaluate(expr: AlgebraExpr, instance: Instance,
             stats.record(name, len(rel))
         return rel
 
-    def go(node: AlgebraExpr) -> Relation:
+    def base(node: AlgebraExpr) -> Relation:
         if isinstance(node, Rel):
             return record("rel", instance.relation(node.name))
         if isinstance(node, Lit):
@@ -167,5 +175,32 @@ def evaluate(expr: AlgebraExpr, instance: Instance,
             out = go(node.left).product(go(node.right))
             return record("product", out)
         raise TypeError(f"not an algebra expression: {node!r}")
+
+    if profile is None:
+        go = base
+        return go(expr)
+
+    import time as _time
+    from repro.obs.profile import algebra_label
+
+    # Children register themselves into the innermost open frame, so a
+    # node learns its children's ids when its own evaluation returns
+    # (registration is bottom-up, matching the physical planner).
+    frames: list[list[int]] = [[]]
+
+    def go(node: AlgebraExpr) -> Relation:
+        frames.append([])
+        start = _time.perf_counter()
+        rel = base(node)
+        elapsed = _time.perf_counter() - start
+        children = frames.pop()
+        label, detail = algebra_label(node)
+        op_stats = profile.register(label, detail, algebra_node=node,
+                                    children=children)
+        op_stats.calls += 1
+        op_stats.rows_out += len(rel)
+        op_stats.elapsed_s += elapsed
+        frames[-1].append(op_stats.op_id)
+        return rel
 
     return go(expr)

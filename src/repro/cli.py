@@ -9,8 +9,15 @@ Commands:
 * ``run 'QUERY' --data FILE``      — translate and execute against a JSON
   instance (see :mod:`repro.data.io`); scalar functions come from
   ``--functions mod.py`` (a Python file defining ``FUNCTIONS = {...}``)
-  or default to a deterministic demo interpretation;
+  or default to a deterministic demo interpretation; ``--analyze``
+  appends the EXPLAIN ANALYZE operator tree;
+* ``profile 'QUERY' --data FILE``  — instrumented run: translation phase
+  spans, per-operator estimated-vs-actual rows and timings, q-error
+  summary, optional ``--json out.json`` export;
 * ``demo``                         — walk the paper's query gallery.
+
+Exit codes: 0 success, 1 refusal (unsafe query), 2 library error,
+3 missing/unparseable ``--data`` file.
 
 The CLI is a thin veneer over the public API; everything it does is a
 few lines of library code (printed with ``--show-code``-free honesty in
@@ -29,7 +36,12 @@ from repro.data.generators import standard_functions
 from repro.data.interpretation import Interpretation
 from repro.data.io import load_instance
 from repro.engine.executor import execute
-from repro.errors import NotEmAllowedError, ReproError
+from repro.errors import EvaluationError, NotEmAllowedError, ReproError
+from repro.obs.explain import q_error_summary, render_explain_analyze
+from repro.obs.export import save_bundle
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ExecutionProfile
+from repro.obs.tracing import SpanTracer
 from repro.finds.find import format_finds
 from repro.safety import (
     allowed,
@@ -41,7 +53,36 @@ from repro.safety import (
 from repro.semantics.eval_calculus import query_schema
 from repro.translate.pipeline import translate_query
 
-__all__ = ["main"]
+__all__ = ["main", "DATA_ERROR_EXIT"]
+
+#: Exit code for a missing or unparseable ``--data`` file.
+DATA_ERROR_EXIT = 3
+
+
+_DATA_HINT = ('--data expects an instance JSON file like '
+              '{"R": {"arity": 1, "rows": [[1], [2]]}}')
+
+
+class _DataFileError(ReproError):
+    """A CLI data file could not be read, parsed, or written."""
+
+    def __init__(self, message: str, hint: str = _DATA_HINT):
+        super().__init__(message)
+        self.hint = hint
+
+
+def _load_data(path: str):
+    """Load the instance behind ``--data``, raising :class:`_DataFileError`
+    with a one-line hint instead of a traceback on failure."""
+    try:
+        return load_instance(path)
+    except OSError as err:
+        reason = err.strerror or str(err)
+        raise _DataFileError(
+            f"cannot read data file {path!r}: {reason}") from None
+    except EvaluationError as err:
+        raise _DataFileError(
+            f"cannot parse data file {path!r}: {err}") from None
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -96,16 +137,67 @@ def _load_functions(path: str | None, schema) -> Interpretation:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
-    instance = load_instance(args.data)
+    instance = _load_data(args.data)
     result = translate_query(query)
     interp = _load_functions(args.functions, result.schema)
-    report = execute(result.plan, instance, interp, schema=result.schema)
+    profile = ExecutionProfile(query=args.query) if args.analyze else None
+    report = execute(result.plan, instance, interp, schema=result.schema,
+                     profile=profile)
     print(f"plan:   {to_algebra_text(result.plan)}")
     print(f"stats:  {report.summary()}")
     for row in sorted(report.result.rows, key=repr)[:args.limit]:
         print("  " + "\t".join(str(v) for v in row))
     if len(report.result) > args.limit:
         print(f"  ... ({len(report.result)} rows total)")
+    if profile is not None:
+        print()
+        print("explain analyze:")
+        print(render_explain_analyze(profile))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    instance = _load_data(args.data)
+    tracer = SpanTracer()
+    metrics = MetricsRegistry()
+    try:
+        with metrics.time("translate"):
+            result = translate_query(query, tracer=tracer)
+    except NotEmAllowedError as err:
+        print(f"refused: {err}", file=sys.stderr)
+        return 1
+    interp = _load_functions(args.functions, result.schema)
+    profile = ExecutionProfile(query=args.query)
+    with metrics.time("execute"):
+        report = execute(result.plan, instance, interp,
+                         schema=result.schema, profile=profile)
+    metrics.gauge("plan.size").set(result.plan_size)
+    metrics.counter("trace.steps").inc(len(result.trace))
+    metrics.counter("operator.rows").inc(profile.total_rows())
+    metrics.counter("function.calls").inc(report.function_calls)
+
+    print(f"query: {query}")
+    print(f"plan:  {to_algebra_text(result.plan)}")
+    print()
+    print("translation spans:")
+    print(tracer.render())
+    print()
+    print("explain analyze:")
+    print(render_explain_analyze(profile))
+    print()
+    print("q-error by operator class:")
+    print(q_error_summary(profile))
+    if args.json:
+        try:
+            save_bundle(args.json, profile=profile, tracer=tracer,
+                        metrics=metrics)
+        except OSError as err:
+            reason = err.strerror or str(err)
+            raise _DataFileError(
+                f"cannot write profile to {args.json!r}: {reason}",
+                hint="--json expects a writable output path") from None
+        print(f"\nprofile written to {args.json}")
     return 0
 
 
@@ -145,7 +237,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--functions",
                      help="Python file defining FUNCTIONS = {name: callable}")
     run.add_argument("--limit", type=int, default=20, help="max rows to print")
+    run.add_argument("--analyze", action="store_true",
+                     help="print the EXPLAIN ANALYZE operator tree "
+                          "(estimated vs actual rows and timings)")
     run.set_defaults(fn=_cmd_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="instrumented run: phase spans, per-operator metrics, "
+             "EXPLAIN ANALYZE, q-errors")
+    profile.add_argument("query")
+    profile.add_argument("--data", required=True, help="instance JSON file")
+    profile.add_argument("--functions",
+                         help="Python file defining FUNCTIONS = {name: callable}")
+    profile.add_argument("--json", metavar="OUT",
+                         help="write the profile/span/metrics bundle as JSON")
+    profile.set_defaults(fn=_cmd_profile)
 
     demo = sub.add_parser("demo", help="list the paper's query gallery")
     demo.set_defaults(fn=_cmd_demo)
@@ -158,6 +265,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except _DataFileError as err:
+        print(f"error: {err}", file=sys.stderr)
+        print(f"hint: {err.hint}", file=sys.stderr)
+        return DATA_ERROR_EXIT
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2

@@ -8,10 +8,11 @@ must return identical relations on every plan (tested).
 """
 
 from repro.engine.executor import RunReport, execute
-from repro.engine.operators import OpCounters
+from repro.engine.operators import OpCounters, ProfiledOp
 from repro.engine.optimizer import choose_build_sides
 from repro.engine.planner import build_physical_plan
 from repro.engine.stats import (
+    ENUMERATE_FANOUT,
     InstanceStats,
     TableStats,
     collect_stats,
@@ -19,7 +20,8 @@ from repro.engine.stats import (
 )
 
 __all__ = [
-    "execute", "RunReport", "OpCounters", "build_physical_plan",
+    "execute", "RunReport", "OpCounters", "ProfiledOp",
+    "build_physical_plan",
     "collect_stats", "TableStats", "InstanceStats",
-    "estimate_cardinality", "choose_build_sides",
+    "estimate_cardinality", "choose_build_sides", "ENUMERATE_FANOUT",
 ]

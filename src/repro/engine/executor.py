@@ -12,6 +12,7 @@ from repro.data.interpretation import Interpretation
 from repro.data.relation import Relation
 from repro.engine.operators import OpCounters
 from repro.engine.planner import build_physical_plan
+from repro.obs.profile import ExecutionProfile
 
 __all__ = ["RunReport", "execute"]
 
@@ -24,6 +25,7 @@ class RunReport:
     elapsed_seconds: float
     counters: OpCounters
     function_calls: int
+    profile: ExecutionProfile | None = None
 
     @property
     def intermediate_rows(self) -> int:
@@ -40,22 +42,38 @@ class RunReport:
 
 def execute(expr: AlgebraExpr, instance: Instance,
             interpretation: Interpretation,
-            schema: DatabaseSchema | None = None) -> RunReport:
+            schema: DatabaseSchema | None = None,
+            profile: ExecutionProfile | None = None) -> RunReport:
     """Plan and run ``expr``, returning the result with measurements.
 
     Scalar-function applications are counted through the
     interpretation's own counters (reset at entry), so the report
     reflects this execution only.
+
+    With ``profile`` (an :class:`~repro.obs.profile.ExecutionProfile`),
+    every physical operator additionally records per-node rows, calls,
+    and elapsed time, and the profile's ``estimated_rows`` are filled
+    from freshly collected instance statistics — the data behind
+    ``EXPLAIN ANALYZE`` (:mod:`repro.obs.explain`).  Without it the
+    execution path is untouched.
     """
     interpretation.reset_counts()
     counters = OpCounters()
-    plan = build_physical_plan(expr, instance, interpretation, schema, counters)
+    plan = build_physical_plan(expr, instance, interpretation, schema,
+                               counters, profile)
     start = time.perf_counter()
     rows = set(plan.rows())
     elapsed = time.perf_counter() - start
+    if profile is not None:
+        from repro.engine.stats import collect_stats
+        profile.elapsed_s = elapsed
+        profile.result_rows = len(rows)
+        profile.function_calls = interpretation.call_count()
+        profile.annotate_estimates(collect_stats(instance))
     return RunReport(
         result=Relation(plan.arity, rows),
         elapsed_seconds=elapsed,
         counters=counters,
         function_calls=interpretation.call_count(),
+        profile=profile,
     )

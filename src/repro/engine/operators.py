@@ -21,6 +21,7 @@ Every operator counts the rows it produces in a shared
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -32,6 +33,7 @@ from repro.data.relation import Relation
 __all__ = [
     "OpCounters",
     "PhysicalOp",
+    "ProfiledOp",
     "ScanOp",
     "LiteralOp",
     "FilterOp",
@@ -74,6 +76,40 @@ class PhysicalOp:
     def _emit(self, name: str, iterator: Iterable[tuple]) -> Iterator[tuple]:
         for row in iterator:
             self.counters.bump(name)
+            yield row
+
+
+class ProfiledOp(PhysicalOp):
+    """Transparent measurement wrapper around one physical operator.
+
+    Used only when the caller asked for an
+    :class:`~repro.obs.profile.ExecutionProfile` — the unprofiled path
+    never constructs these, so profiling is zero-overhead when off.
+    Each ``next()`` on the wrapped iterator is timed individually, so a
+    node's ``elapsed_s`` is the cumulative time spent producing its
+    rows (including its children, as in ``EXPLAIN ANALYZE``) but *not*
+    the time its consumer spends processing them.
+    """
+
+    def __init__(self, inner: PhysicalOp, stats):
+        self.inner = inner
+        self.stats = stats  # an obs.profile.OperatorStats (duck-typed)
+        self.arity = inner.arity
+        self.counters = inner.counters
+
+    def rows(self) -> Iterator[tuple]:
+        self.stats.calls += 1
+        iterator = self.inner.rows()
+        perf_counter = time.perf_counter
+        while True:
+            start = perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                self.stats.elapsed_s += perf_counter() - start
+                return
+            self.stats.elapsed_s += perf_counter() - start
+            self.stats.rows_out += 1
             yield row
 
 

@@ -47,10 +47,12 @@ from repro.engine.operators import (
     NestedLoopJoinOp,
     OpCounters,
     PhysicalOp,
+    ProfiledOp,
     ScanOp,
     UnionOp,
 )
 from repro.errors import EvaluationError
+from repro.obs.profile import ExecutionProfile, algebra_label
 
 __all__ = ["build_physical_plan"]
 
@@ -97,16 +99,36 @@ def _match_anti_join(node: Diff):
 def build_physical_plan(expr: AlgebraExpr, instance: Instance,
                         interpretation: Interpretation,
                         schema: DatabaseSchema | None = None,
-                        counters: OpCounters | None = None) -> PhysicalOp:
-    """Compile an algebra expression into an executable operator tree."""
+                        counters: OpCounters | None = None,
+                        profile: ExecutionProfile | None = None) -> PhysicalOp:
+    """Compile an algebra expression into an executable operator tree.
+
+    With ``profile`` set, every operator is wrapped in a
+    :class:`~repro.engine.operators.ProfiledOp` recording rows, calls,
+    and elapsed time per node into the profile; without it, the tree is
+    built exactly as before (no wrappers, no overhead).
+    """
     if counters is None:
         counters = OpCounters()
 
+    def wrap(op: PhysicalOp, label: str, node: AlgebraExpr,
+             *children: PhysicalOp) -> PhysicalOp:
+        if profile is None:
+            return op
+        child_ids = tuple(c.stats.op_id for c in children
+                          if isinstance(c, ProfiledOp))
+        _logical, detail = algebra_label(node)
+        stats = profile.register(label, detail, algebra_node=node,
+                                 children=child_ids)
+        return ProfiledOp(op, stats)
+
     def go(node: AlgebraExpr) -> PhysicalOp:
         if isinstance(node, Rel):
-            return ScanOp(instance.relation(node.name), counters)
+            return wrap(ScanOp(instance.relation(node.name), counters),
+                        "scan", node)
         if isinstance(node, Lit):
-            return LiteralOp(node.arity, node.rows, counters)
+            return wrap(LiteralOp(node.arity, node.rows, counters),
+                        "literal", node)
         if isinstance(node, Params):
             raise EvaluationError(
                 "plan contains an unbound parameter relation; call "
@@ -116,27 +138,41 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
                 raise EvaluationError("AdomK requires a schema")
             base = set(instance.active_domain()) | set(node.extras)
             closed = term_closure(base, node.level, interpretation, schema)
-            return AdomOp(frozenset(closed), counters)
+            return wrap(AdomOp(frozenset(closed), counters), "adom", node)
         if isinstance(node, Project):
-            return MapOp(node.exprs, go(node.child), interpretation)
+            child = go(node.child)
+            return wrap(MapOp(node.exprs, child, interpretation),
+                        "map", node, child)
         if isinstance(node, Select):
-            return FilterOp(node.conds, go(node.child), interpretation)
+            child = go(node.child)
+            return wrap(FilterOp(node.conds, child, interpretation),
+                        "filter", node, child)
         if isinstance(node, Enumerate):
-            return EnumerateOp(interpretation.enumerator(node.enumerator),
-                               node.inputs, node.out_count, go(node.child),
-                               interpretation)
+            child = go(node.child)
+            return wrap(
+                EnumerateOp(interpretation.enumerator(node.enumerator),
+                            node.inputs, node.out_count, child,
+                            interpretation),
+                "enumerate", node, child)
         if isinstance(node, Join):
             left = go(node.left)
             right = go(node.right)
             pairs, residual = _split_join_conditions(node.conds, left.arity)
             if pairs:
-                return HashJoinOp(pairs, residual, left, right, interpretation)
-            return NestedLoopJoinOp(node.conds, left, right, interpretation)
+                return wrap(HashJoinOp(pairs, residual, left, right,
+                                       interpretation),
+                            "hash-join", node, left, right)
+            return wrap(NestedLoopJoinOp(node.conds, left, right,
+                                         interpretation),
+                        "nl-join", node, left, right)
         if isinstance(node, Product):
-            return NestedLoopJoinOp(frozenset(), go(node.left), go(node.right),
-                                    interpretation)
+            left, right = go(node.left), go(node.right)
+            return wrap(NestedLoopJoinOp(frozenset(), left, right,
+                                         interpretation),
+                        "nl-join", node, left, right)
         if isinstance(node, Union):
-            return UnionOp(go(node.left), go(node.right))
+            left, right = go(node.left), go(node.right)
+            return wrap(UnionOp(left, right), "union", node, left, right)
         if isinstance(node, Diff):
             anti = _match_anti_join(node)
             if anti is not None:
@@ -144,8 +180,11 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
                 left = go(left_expr)
                 right = go(right_expr)
                 pairs, residual = _split_join_conditions(join_conds, left.arity)
-                return AntiJoinOp(pairs, residual, left, right, interpretation)
-            return DiffOp(go(node.left), go(node.right))
+                return wrap(AntiJoinOp(pairs, residual, left, right,
+                                       interpretation),
+                            "anti-join", node, left, right)
+            left, right = go(node.left), go(node.right)
+            return wrap(DiffOp(left, right), "diff", node, left, right)
         raise TypeError(f"not an algebra expression: {node!r}")
 
     return go(expr)

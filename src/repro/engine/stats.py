@@ -46,6 +46,9 @@ RANGE_SELECTIVITY = 1 / 3
 NEQ_SELECTIVITY = 0.9
 #: Fallback distinct count when a column is unknown.
 DEFAULT_DISTINCT = 10.0
+#: Assumed tuples yielded per input row by an Enumerate operator
+#: (annotation enumerators typically return a handful of inverses).
+ENUMERATE_FANOUT = 4.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,8 +88,7 @@ def collect_stats(instance: Instance) -> InstanceStats:
     return InstanceStats(tables)
 
 
-def _condition_selectivity(cond: Condition, child_rows: float,
-                           distinct_of) -> float:
+def _condition_selectivity(cond: Condition, distinct_of) -> float:
     """Selectivity of one condition; ``distinct_of(col)`` estimates a
     column's distinct count."""
     if cond.op == "=":
@@ -127,7 +129,7 @@ def estimate_cardinality(expr: AlgebraExpr, stats: InstanceStats) -> float:
             rows = go(node.child)
             distinct_of = _column_distinct(node.child)
             for cond in node.conds:
-                rows *= _condition_selectivity(cond, rows, distinct_of)
+                rows *= _condition_selectivity(cond, distinct_of)
             return rows
         if isinstance(node, Join):
             left, right = go(node.left), go(node.right)
@@ -149,8 +151,7 @@ def estimate_cardinality(expr: AlgebraExpr, stats: InstanceStats) -> float:
                 rows *= 0.5
             return rows
         if isinstance(node, Enumerate):
-            # annotations typically yield a handful of tuples per row
-            return go(node.child) * 4.0
+            return go(node.child) * ENUMERATE_FANOUT
         if isinstance(node, Union):
             return go(node.left) + go(node.right)
         if isinstance(node, Diff):

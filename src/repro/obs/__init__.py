@@ -1,0 +1,35 @@
+"""Observability: span tracing, metrics, execution profiles, EXPLAIN ANALYZE.
+
+The measurement layer every optimization PR is judged against:
+
+* :mod:`repro.obs.tracing` — nested timed spans (zero-overhead when
+  disabled), threaded through the translation pipeline;
+* :mod:`repro.obs.metrics` — named counters, gauges, and timing
+  histograms;
+* :mod:`repro.obs.profile` — per-operator runtime statistics
+  (rows in/out, calls, elapsed time, estimated cardinality) filled by
+  both executors;
+* :mod:`repro.obs.explain` — ``EXPLAIN ANALYZE``-style rendering with
+  estimated-vs-actual q-errors;
+* :mod:`repro.obs.export` — JSON bundles for trajectory artifacts.
+"""
+
+from repro.obs.explain import q_error_summary, render_explain_analyze
+from repro.obs.export import bundle_to_json, export_bundle, save_bundle
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimingHistogram,
+)
+from repro.obs.profile import ExecutionProfile, OperatorStats, q_error
+from repro.obs.tracing import NULL_TRACER, Span, SpanTracer
+
+__all__ = [
+    "Span", "SpanTracer", "NULL_TRACER",
+    "Counter", "Gauge", "TimingHistogram", "MetricsRegistry", "NULL_METRICS",
+    "ExecutionProfile", "OperatorStats", "q_error",
+    "render_explain_analyze", "q_error_summary",
+    "export_bundle", "bundle_to_json", "save_bundle",
+]

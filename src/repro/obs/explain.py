@@ -1,0 +1,93 @@
+"""EXPLAIN ANALYZE rendering: estimated versus actual, side by side.
+
+Given a filled :class:`~repro.obs.profile.ExecutionProfile`,
+:func:`render_explain_analyze` prints the operator tree with each
+node's *estimated* cardinality (from
+:func:`repro.engine.stats.estimate_cardinality`) next to the *actual*
+rows produced, the invocation count, and the cumulative elapsed time —
+the shape of PostgreSQL's ``EXPLAIN ANALYZE``.
+:func:`q_error_summary` aggregates estimation quality per operator
+class.
+"""
+
+from __future__ import annotations
+
+from repro.obs.profile import ExecutionProfile, OperatorStats
+
+__all__ = ["render_explain_analyze", "q_error_summary"]
+
+
+def _fmt_rows(value: float | None) -> str:
+    if value is None:
+        return "?"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def _node_line(stats: OperatorStats) -> str:
+    detail = f" {stats.detail}" if stats.detail else ""
+    est = _fmt_rows(stats.estimated_rows)
+    qe = stats.q_error
+    q_text = f" q-err={qe:.2f}" if qe is not None else ""
+    return (f"{stats.label}{detail}  "
+            f"(est={est} rows) "
+            f"(actual rows={stats.rows_out} calls={stats.calls} "
+            f"time={stats.elapsed_s * 1e3:.3f} ms{q_text})")
+
+
+def render_explain_analyze(profile: ExecutionProfile) -> str:
+    """Indented operator tree annotated estimated-vs-actual."""
+    root = profile.root_id
+    if root is None:
+        return "(empty profile)"
+    lines: list[str] = []
+
+    def emit(op_id: int, prefix: str, child_prefix: str) -> None:
+        stats = profile.nodes[op_id]
+        lines.append(prefix + _node_line(stats))
+        children = stats.children
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            branch = "└─ " if last else "├─ "
+            cont = "   " if last else "│  "
+            emit(child, child_prefix + branch, child_prefix + cont)
+
+    emit(root, "", "")
+    footer = []
+    if profile.result_rows is not None:
+        footer.append(f"result rows: {profile.result_rows}")
+    footer.append(f"execution time: {profile.elapsed_s * 1e3:.3f} ms")
+    if profile.function_calls is not None:
+        footer.append(f"function calls: {profile.function_calls}")
+    lines.append("; ".join(footer))
+    return "\n".join(lines)
+
+
+def q_error_summary(profile: ExecutionProfile) -> str:
+    """Per-operator-class table: nodes, rows, time, and worst q-error."""
+    by_class = profile.by_class()
+    if not by_class:
+        return "(empty profile)"
+    headers = ["operator", "nodes", "rows_out", "calls", "time_ms", "max q-err"]
+    rows: list[list[str]] = []
+    for label in sorted(by_class):
+        agg = by_class[label]
+        qe = agg["max_q_error"]
+        rows.append([
+            label,
+            str(agg["nodes"]),
+            str(agg["rows_out"]),
+            str(agg["calls"]),
+            f"{agg['elapsed_s'] * 1e3:.3f}",
+            f"{qe:.2f}" if qe is not None else "-",
+        ])
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    return "\n".join([fmt(headers)] + [fmt(r) for r in rows])

@@ -1,0 +1,55 @@
+"""JSON export of profiles, spans, and metrics.
+
+One bundle format shared by the CLI (``repro profile --json``) and the
+benchmark harness (``benchmarks/results/BENCH_profile.json``)::
+
+    {
+      "profile": {... ExecutionProfile.to_dict() ...},
+      "translation": {"spans": [...]},
+      "metrics": {...},
+    }
+
+Every section is optional; absent collectors are simply omitted.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ExecutionProfile
+from repro.obs.tracing import SpanTracer
+
+__all__ = ["export_bundle", "bundle_to_json", "save_bundle"]
+
+
+def export_bundle(profile: ExecutionProfile | None = None,
+                  tracer: SpanTracer | None = None,
+                  metrics: MetricsRegistry | None = None) -> dict:
+    """Combine the collectors into one JSON-ready dict."""
+    bundle: dict = {}
+    if profile is not None:
+        bundle["profile"] = profile.to_dict()
+    if tracer is not None:
+        bundle["translation"] = tracer.to_dict()
+    if metrics is not None:
+        bundle["metrics"] = metrics.snapshot()
+    return bundle
+
+
+def bundle_to_json(profile: ExecutionProfile | None = None,
+                   tracer: SpanTracer | None = None,
+                   metrics: MetricsRegistry | None = None,
+                   indent: int | None = 2) -> str:
+    """The bundle serialized as a JSON string."""
+    return json.dumps(export_bundle(profile, tracer, metrics), indent=indent)
+
+
+def save_bundle(path: str | pathlib.Path,
+                profile: ExecutionProfile | None = None,
+                tracer: SpanTracer | None = None,
+                metrics: MetricsRegistry | None = None) -> None:
+    """Write the bundle to ``path`` as JSON."""
+    pathlib.Path(path).write_text(
+        bundle_to_json(profile, tracer, metrics) + "\n")

@@ -1,0 +1,210 @@
+"""Runtime metrics: counters, gauges, and timing histograms.
+
+A :class:`MetricsRegistry` names and owns its instruments::
+
+    metrics = MetricsRegistry()
+    metrics.counter("rows.scanned").inc(128)
+    metrics.gauge("plan.size").set(17)
+    with metrics.time("execute"):
+        ...
+
+Like the span tracer, a disabled registry (``MetricsRegistry(enabled=
+False)``, or the shared :data:`NULL_METRICS`) is zero-overhead: every
+lookup returns one shared no-op instrument, so hot paths can record
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "TimingHistogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+#: Histogram bucket upper bounds, in seconds (powers of ten around the
+#: micro-to-second range this engine operates in; the last bucket is +inf).
+TIMING_BUCKETS_S = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+@dataclass
+class TimingHistogram:
+    """Elapsed-time distribution: count/total/min/max plus log buckets."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+    buckets: list[int] = field(
+        default_factory=lambda: [0] * (len(TIMING_BUCKETS_S) + 1))
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+        for i, bound in enumerate(TIMING_BUCKETS_S):
+            if seconds <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "timing",
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+            "mean_s": self.mean_s,
+            "bucket_bounds_s": list(TIMING_BUCKETS_S),
+            "buckets": list(self.buckets),
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for a disabled registry."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    total_s = 0.0
+    mean_s = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {"type": "null"}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _TimeContext:
+    __slots__ = ("histogram", "_start")
+
+    def __init__(self, histogram):
+        self.histogram = histogram
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self.histogram
+
+    def __exit__(self, *exc) -> bool:
+        self.histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+class _NullTime:
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_INSTRUMENT
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_TIME = _NullTime()
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and timing histograms."""
+
+    __slots__ = ("enabled", "counters", "gauges", "timers")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.timers: dict[str, TimingHistogram] = {}
+
+    def counter(self, name: str):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def timer(self, name: str):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        instrument = self.timers.get(name)
+        if instrument is None:
+            instrument = self.timers[name] = TimingHistogram()
+        return instrument
+
+    def time(self, name: str):
+        """Context manager recording one observation into ``timer(name)``."""
+        if not self.enabled:
+            return _NULL_TIME
+        return _TimeContext(self.timer(name))
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-ready mapping."""
+        out: dict[str, dict] = {}
+        for name, instrument in self.counters.items():
+            out[name] = instrument.to_dict()
+        for name, instrument in self.gauges.items():
+            out[name] = instrument.to_dict()
+        for name, instrument in self.timers.items():
+            out[name] = instrument.to_dict()
+        return out
+
+
+#: Shared disabled registry: safe default for instrumented code paths.
+NULL_METRICS = MetricsRegistry(enabled=False)

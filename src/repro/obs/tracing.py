@@ -1,0 +1,149 @@
+"""Lightweight nested span tracing.
+
+A :class:`SpanTracer` records a tree of named, wall-clock-timed spans::
+
+    tracer = SpanTracer()
+    with tracer.span("translate", query="q4"):
+        with tracer.span("enf"):
+            ...
+
+Spans nest through a stack; exiting a span records its elapsed time and
+re-attaches the parent.  The tracer is **zero-overhead when disabled**:
+``SpanTracer(enabled=False).span(...)`` returns one shared no-op
+context manager without allocating a span, taking a timestamp, or
+touching the stack — so instrumented code paths can call it
+unconditionally.  :data:`NULL_TRACER` is the shared disabled instance
+used as the default by the pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One timed region, with the sub-spans opened while it was active."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def walk(self):
+        """Yield this span and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "elapsed_s": self.elapsed_s}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.elapsed_s * 1e3:.3f} ms)"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on the tracer stack."""
+
+    __slots__ = ("tracer", "span", "_start")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self.tracer._stack.append(self.span)
+        self._start = time.perf_counter()
+        return self.span
+
+    def __exit__(self, *exc) -> bool:
+        self.span.elapsed_s += time.perf_counter() - self._start
+        stack = self.tracer._stack
+        stack.pop()
+        if stack:
+            stack[-1].children.append(self.span)
+        else:
+            self.tracer.roots.append(self.span)
+        return False
+
+
+class SpanTracer:
+    """Collects a forest of nested timed spans."""
+
+    __slots__ = ("enabled", "roots", "_stack")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs):
+        """Context manager timing one region; nests under the active span."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, Span(name, attrs))
+
+    def walk(self):
+        """Every recorded span, pre-order across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> Span | None:
+        """First recorded span with ``name`` (pre-order), or None."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def total(self, name: str) -> float:
+        """Summed elapsed seconds of every span named ``name``."""
+        return sum(s.elapsed_s for s in self.walk() if s.name == name)
+
+    def render(self) -> str:
+        """Indented text tree of every recorded span."""
+        if not self.roots:
+            return "(no spans)"
+        lines: list[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            attrs = ""
+            if span.attrs:
+                attrs = "  " + " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            lines.append("  " * depth + str(span) + attrs)
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+
+#: Shared disabled tracer: safe default for instrumented code paths.
+NULL_TRACER = SpanTracer(enabled=False)

@@ -24,6 +24,7 @@ from repro.core.formulas import Formula
 from repro.core.queries import CalculusQuery
 from repro.core.schema import DatabaseSchema
 from repro.errors import TranslationError
+from repro.obs.tracing import NULL_TRACER, SpanTracer
 from repro.safety.em_allowed import require_em_allowed
 from repro.semantics.eval_calculus import query_schema
 from repro.translate.compiler import compile_formula, _term_colexpr
@@ -70,7 +71,8 @@ def translate_query(query: CalculusQuery,
                     check_safety: bool = True,
                     enable_t10: bool = True,
                     simplify_plan: bool = True,
-                    annotations=None) -> TranslationResult:
+                    annotations=None,
+                    tracer: SpanTracer | None = None) -> TranslationResult:
     """Translate an em-allowed calculus query into the extended algebra.
 
     Raises :class:`~repro.errors.NotEmAllowedError` when ``check_safety``
@@ -85,39 +87,61 @@ def translate_query(query: CalculusQuery,
     declared function annotations, emitting
     :class:`~repro.algebra.ast.Enumerate` operators whose enumerators
     must be registered on the interpretation at evaluation time.
+
+    ``tracer`` (an :class:`~repro.obs.tracing.SpanTracer`) records one
+    timed span per pipeline phase — standardize, safety, enf, compile,
+    simplify — nested under a ``translate`` root span; ``None`` (the
+    default) uses the shared disabled tracer and adds no overhead.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     trace = TranslationTrace()
-    query = query.standardized()
-    if check_safety:
-        if annotations is None:
-            require_em_allowed(query)
-        else:
-            from repro.errors import NotEmAllowedError
-            from repro.safety.em_allowed import em_allowed_violations
-            problems = em_allowed_violations(query.body,
-                                             annotations=annotations)
-            if problems:
-                raise NotEmAllowedError(
-                    f"query {query} is not em-allowed (with annotations)",
-                    problems)
+    with tracer.span("translate") as root_span:
+        if tracer.enabled:
+            root_span.attrs["query"] = str(query)
+        with tracer.span("standardize"):
+            query = query.standardized()
+        if check_safety:
+            with tracer.span("safety"):
+                if annotations is None:
+                    require_em_allowed(query)
+                else:
+                    from repro.errors import NotEmAllowedError
+                    from repro.safety.em_allowed import em_allowed_violations
+                    problems = em_allowed_violations(query.body,
+                                                     annotations=annotations)
+                    if problems:
+                        raise NotEmAllowedError(
+                            f"query {query} is not em-allowed "
+                            f"(with annotations)", problems)
 
-    enf = to_enf(query.body, trace)
-    compiled = compile_formula(enf, trace, enable_t10, annotations)
+        with tracer.span("enf") as enf_span:
+            enf = to_enf(query.body, trace)
+            if tracer.enabled:
+                enf_span.attrs["steps"] = len(trace)
+        with tracer.span("compile") as compile_span:
+            compiled = compile_formula(enf, trace, enable_t10, annotations)
 
-    missing = [v for v in query.head_variables if not compiled.has(v)]
-    if missing:
-        raise TranslationError(
-            f"compiled context lacks head variables {missing} "
-            f"(bound: {list(compiled.vars)})"
-        )
-    positions = {name: i + 1 for i, name in enumerate(compiled.vars)}
-    head_exprs = tuple(_term_colexpr(t, positions) for t in query.head)
-    plan: AlgebraExpr = Project(head_exprs, compiled.plan)
-    trace.record("head-project", "algebra",
-                 f"project head terms {[str(t) for t in query.head]}")
+            missing = [v for v in query.head_variables if not compiled.has(v)]
+            if missing:
+                raise TranslationError(
+                    f"compiled context lacks head variables {missing} "
+                    f"(bound: {list(compiled.vars)})"
+                )
+            positions = {name: i + 1 for i, name in enumerate(compiled.vars)}
+            head_exprs = tuple(_term_colexpr(t, positions) for t in query.head)
+            plan: AlgebraExpr = Project(head_exprs, compiled.plan)
+            trace.record("head-project", "algebra",
+                         f"project head terms {[str(t) for t in query.head]}")
+            if tracer.enabled:
+                compile_span.attrs["plan_ops"] = algebra_size(plan)
 
-    resolved_schema = query_schema(query, schema)
-    if simplify_plan:
-        catalog = {decl.name: decl.arity for decl in resolved_schema.relations}
-        plan = simplify(plan, catalog)
+        resolved_schema = query_schema(query, schema)
+        if simplify_plan:
+            with tracer.span("simplify") as simplify_span:
+                catalog = {decl.name: decl.arity
+                           for decl in resolved_schema.relations}
+                plan = simplify(plan, catalog)
+                if tracer.enabled:
+                    simplify_span.attrs["plan_ops"] = algebra_size(plan)
     return TranslationResult(plan=plan, enf=enf, trace=trace, schema=resolved_schema)

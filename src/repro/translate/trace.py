@@ -54,5 +54,15 @@ class TranslationTrace:
         return [s.name for s in self.steps]
 
     def render(self) -> str:
-        """The full walkthrough, one step per line."""
+        """The full walkthrough, one step per line; never blank — an
+        empty trace renders as ``"(no steps)"`` so CLI walkthroughs are
+        explicit about recording nothing."""
+        if not self.steps:
+            return "(no steps)"
         return "\n".join(str(s) for s in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        return self.render()

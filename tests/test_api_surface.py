@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.translate",
     "repro.semantics",
     "repro.engine",
+    "repro.obs",
     "repro.workloads",
 ]
 
@@ -38,6 +39,8 @@ MODULES = PACKAGES + [
     "repro.semantics.domain_independence",
     "repro.engine.operators", "repro.engine.planner", "repro.engine.executor",
     "repro.engine.stats", "repro.engine.optimizer",
+    "repro.obs.tracing", "repro.obs.metrics", "repro.obs.profile",
+    "repro.obs.explain", "repro.obs.export",
     "repro.workloads.gallery", "repro.workloads.practical",
     "repro.workloads.families", "repro.workloads.random_queries",
     "repro.errors", "repro.cli",

@@ -130,6 +130,73 @@ class TestCli:
         assert "q4" in out and "q5" in out
 
 
+class TestCliProfile:
+    def _write_data(self, tmp_path):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1], [2], [3]]}}')
+        return data
+
+    def test_profile_prints_spans_and_explain(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["profile", "{ x | R(x) & exists y (f(x) = y & ~R(y)) }",
+                     "--data", str(data)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "translation spans:" in out
+        for phase in ("standardize", "safety", "enf", "compile", "simplify"):
+            assert phase in out
+        assert "explain analyze:" in out
+        assert "est=" in out and "actual rows=" in out
+        assert "q-error by operator class:" in out
+
+    def test_profile_json_export(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        out_path = tmp_path / "profile.json"
+        code = main(["profile", "{ x | R(x) }", "--data", str(data),
+                     "--json", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"profile", "translation", "metrics"}
+        for op in payload["profile"]["operators"]:
+            assert {"rows_out", "calls", "elapsed_s",
+                    "estimated_rows"} <= set(op)
+
+    def test_profile_refuses_unsafe(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["profile", "{ x | f(x) = x }", "--data", str(data)])
+        assert code == 1
+        assert "refused" in capsys.readouterr().err
+
+    def test_run_analyze_flag(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["run", "{ x | R(x) }", "--data", str(data), "--analyze"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "explain analyze:" in out
+        assert "actual rows=" in out
+
+
+class TestCliDataErrors:
+    def test_missing_data_file_exit_code(self, tmp_path, capsys):
+        from repro.cli import DATA_ERROR_EXIT
+        code = main(["run", "{ x | R(x) }",
+                     "--data", str(tmp_path / "nope.json")])
+        err = capsys.readouterr().err
+        assert code == DATA_ERROR_EXIT == 3
+        assert "cannot read data file" in err
+        assert "hint:" in err
+        assert "Traceback" not in err
+
+    def test_unparseable_data_file_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["profile", "{ x | R(x) }", "--data", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "cannot parse data file" in err
+        assert "hint:" in err
+
+
 class TestCliExplainAndModule:
     def test_translate_explain_flag(self, capsys):
         code = main(["translate", "{ x | R(x) & ~S(x) }", "--explain"])

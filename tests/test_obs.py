@@ -1,0 +1,273 @@
+"""Tests for the observability subsystem (repro.obs): span tracing,
+metrics, execution profiles, and EXPLAIN ANALYZE rendering."""
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.algebra.evaluator import evaluate
+from repro.engine.executor import execute
+from repro.obs.explain import q_error_summary, render_explain_analyze
+from repro.obs.export import bundle_to_json, export_bundle, save_bundle
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.profile import ExecutionProfile, q_error
+from repro.obs.tracing import NULL_TRACER, SpanTracer
+from repro.translate.pipeline import translate_query
+from repro.workloads.gallery import (
+    GALLERY,
+    gallery_instance,
+    standard_gallery_interp,
+)
+
+
+def _translatable_entries():
+    return [e for e in GALLERY.values() if e.translatable]
+
+
+class TestSpanTracer:
+    def test_spans_nest(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner-a", "inner-b"]
+
+    def test_spans_time(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        outer = tracer.find("outer")
+        inner = tracer.find("inner")
+        assert inner.elapsed_s >= 0.009
+        assert outer.elapsed_s >= inner.elapsed_s
+
+    def test_attrs_recorded(self):
+        tracer = SpanTracer()
+        with tracer.span("phase", query="q1") as span:
+            span.attrs["extra"] = 7
+        assert tracer.find("phase").attrs == {"query": "q1", "extra": 7}
+
+    def test_total_sums_same_name(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("loop"):
+                pass
+        assert len(tracer.roots) == 3
+        assert tracer.total("loop") == pytest.approx(
+            sum(s.elapsed_s for s in tracer.roots))
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = SpanTracer(enabled=False)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert tracer.roots == []
+        assert tracer.find("outer") is None
+        assert tracer.render() == "(no spans)"
+
+    def test_disabled_span_is_shared(self):
+        tracer = SpanTracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b") is NULL_TRACER.span("c")
+
+    def test_render_and_to_dict(self):
+        tracer = SpanTracer()
+        with tracer.span("root", n=1):
+            with tracer.span("child"):
+                pass
+        text = tracer.render()
+        assert "root" in text and "  child" in text and "n=1" in text
+        payload = tracer.to_dict()
+        assert payload["spans"][0]["children"][0]["name"] == "child"
+
+
+class TestMetrics:
+    def test_counter_gauge_timer(self):
+        metrics = MetricsRegistry()
+        metrics.counter("rows").inc(5)
+        metrics.counter("rows").inc()
+        metrics.gauge("size").set(12)
+        with metrics.time("phase"):
+            time.sleep(0.005)
+        snap = metrics.snapshot()
+        assert snap["rows"]["value"] == 6
+        assert snap["size"]["value"] == 12
+        assert snap["phase"]["count"] == 1
+        assert snap["phase"]["total_s"] >= 0.004
+
+    def test_histogram_stats(self):
+        metrics = MetricsRegistry()
+        timer = metrics.timer("t")
+        for seconds in (0.001, 0.002, 0.003):
+            timer.observe(seconds)
+        assert timer.count == 3
+        assert timer.min_s == pytest.approx(0.001)
+        assert timer.max_s == pytest.approx(0.003)
+        assert timer.mean_s == pytest.approx(0.002)
+        assert sum(timer.buckets) == 3
+
+    def test_disabled_registry_is_noop(self):
+        metrics = MetricsRegistry(enabled=False)
+        metrics.counter("rows").inc(5)
+        metrics.gauge("size").set(12)
+        with metrics.time("phase"):
+            pass
+        assert metrics.snapshot() == {}
+        assert metrics.counter("x") is NULL_METRICS.counter("y")
+
+
+class TestPipelineSpans:
+    def test_phases_traced(self):
+        tracer = SpanTracer()
+        entry = GALLERY["q4"]
+        translate_query(entry.query, tracer=tracer)
+        root = tracer.roots[0]
+        assert root.name == "translate"
+        names = [c.name for c in root.children]
+        assert names == ["standardize", "safety", "enf", "compile", "simplify"]
+        assert root.elapsed_s >= sum(c.elapsed_s for c in root.children) * 0.5
+
+    def test_default_tracer_adds_no_spans(self):
+        before = len(NULL_TRACER.roots)
+        translate_query(GALLERY["q1"].query)
+        assert len(NULL_TRACER.roots) == before == 0
+
+
+class TestExecutionProfile:
+    def test_q_error_clamps(self):
+        assert q_error(None, 5) is None
+        assert q_error(0.0, 0) == 1.0
+        assert q_error(10.0, 1) == 10.0
+        assert q_error(1.0, 10) == 10.0
+
+    @pytest.mark.parametrize("key",
+                             [e.key for e in _translatable_entries()])
+    def test_profiled_execution_matches_plain(self, key):
+        entry = GALLERY[key]
+        result = translate_query(entry.query)
+        instance = gallery_instance()
+        interp = standard_gallery_interp()
+        plain = execute(result.plan, instance, interp, schema=result.schema)
+        profile = ExecutionProfile(query=entry.text)
+        profiled = execute(result.plan, instance, interp,
+                           schema=result.schema, profile=profile)
+        assert profiled.result == plain.result
+        assert profile.result_rows == len(plain.result)
+        # every row the physical operators produced is counted twice —
+        # once by OpCounters, once by the per-node wrappers
+        assert profile.total_rows() == profiled.counters.total_rows()
+
+    @pytest.mark.parametrize("key",
+                             [e.key for e in _translatable_entries()])
+    def test_evaluator_profile_rows_match_relation_sizes(self, key):
+        entry = GALLERY[key]
+        result = translate_query(entry.query)
+        profile = ExecutionProfile(query=entry.text)
+        rel = evaluate(result.plan, gallery_instance(),
+                       standard_gallery_interp(), schema=result.schema,
+                       profile=profile)
+        root = profile.nodes[profile.root_id]
+        assert root.rows_out == len(rel)
+        assert all(s.calls >= 1 for s in profile.nodes.values())
+        # re-evaluating without a profile gives the same relation
+        assert rel == evaluate(result.plan, gallery_instance(),
+                               standard_gallery_interp(),
+                               schema=result.schema)
+
+    @pytest.mark.parametrize("key",
+                             [e.key for e in _translatable_entries()])
+    def test_q_error_finite_on_gallery(self, key):
+        """E1 gallery: estimated-vs-actual q-error is finite everywhere."""
+        entry = GALLERY[key]
+        result = translate_query(entry.query)
+        profile = ExecutionProfile(query=entry.text)
+        execute(result.plan, gallery_instance(), standard_gallery_interp(),
+                schema=result.schema, profile=profile)
+        for stats in profile.nodes.values():
+            assert stats.estimated_rows is not None
+            assert math.isfinite(stats.estimated_rows)
+            assert stats.q_error is not None and math.isfinite(stats.q_error)
+            assert stats.q_error >= 1.0
+
+    def test_rows_in_is_children_rows_out(self):
+        entry = GALLERY["q3"]
+        result = translate_query(entry.query)
+        profile = ExecutionProfile()
+        execute(result.plan, gallery_instance(), standard_gallery_interp(),
+                schema=result.schema, profile=profile)
+        for stats in profile.nodes.values():
+            expected = sum(profile.nodes[c].rows_out for c in stats.children)
+            assert profile.rows_in(stats.op_id) == expected
+
+    def test_unprofiled_execution_has_no_wrappers(self):
+        from repro.engine.operators import ProfiledOp
+        from repro.engine.planner import build_physical_plan
+        result = translate_query(GALLERY["q1"].query)
+        plan = build_physical_plan(result.plan, gallery_instance(),
+                                   standard_gallery_interp(), result.schema)
+        assert not isinstance(plan, ProfiledOp)
+
+
+class TestExplainAnalyze:
+    @pytest.mark.parametrize("key",
+                             [e.key for e in _translatable_entries()])
+    def test_estimated_and_actual_side_by_side(self, key):
+        entry = GALLERY[key]
+        result = translate_query(entry.query)
+        profile = ExecutionProfile(query=entry.text)
+        execute(result.plan, gallery_instance(), standard_gallery_interp(),
+                schema=result.schema, profile=profile)
+        text = render_explain_analyze(profile)
+        assert "est=" in text and "actual rows=" in text
+        assert "q-err=" in text
+        assert text.count("(est=") == len(profile.nodes)
+
+    def test_q_error_summary_table(self):
+        entry = GALLERY["q4"]
+        result = translate_query(entry.query)
+        profile = ExecutionProfile()
+        execute(result.plan, gallery_instance(), standard_gallery_interp(),
+                schema=result.schema, profile=profile)
+        table = q_error_summary(profile)
+        assert "max q-err" in table
+        assert any(label in table for label in ("hash-join", "anti-join",
+                                                "map", "scan"))
+
+    def test_empty_profile(self):
+        profile = ExecutionProfile()
+        assert render_explain_analyze(profile) == "(empty profile)"
+        assert q_error_summary(profile) == "(empty profile)"
+
+
+class TestExport:
+    def test_bundle_round_trips_through_json(self, tmp_path):
+        entry = GALLERY["q3"]
+        tracer = SpanTracer()
+        result = translate_query(entry.query, tracer=tracer)
+        profile = ExecutionProfile(query=entry.text)
+        metrics = MetricsRegistry()
+        metrics.counter("runs").inc()
+        execute(result.plan, gallery_instance(), standard_gallery_interp(),
+                schema=result.schema, profile=profile)
+        payload = json.loads(bundle_to_json(profile, tracer, metrics))
+        assert set(payload) == {"profile", "translation", "metrics"}
+        ops = payload["profile"]["operators"]
+        assert ops and all(
+            {"rows_out", "rows_in", "calls", "elapsed_s",
+             "estimated_rows"} <= set(op) for op in ops)
+        assert payload["translation"]["spans"][0]["name"] == "translate"
+        assert payload["metrics"]["runs"]["value"] == 1
+
+        path = tmp_path / "bundle.json"
+        save_bundle(path, profile=profile)
+        assert json.loads(path.read_text())["profile"]["query"] == entry.text
+
+    def test_empty_bundle(self):
+        assert export_bundle() == {}

@@ -45,4 +45,14 @@ class TestTranslationTrace:
         trace = TranslationTrace()
         assert trace.count() == 0
         assert trace.counts() == {}
-        assert trace.render() == ""
+        assert len(trace) == 0
+        assert trace.render() == "(no steps)"
+        assert str(trace) == "(no steps)"
+
+    def test_len_and_str(self):
+        trace = TranslationTrace()
+        trace.record("T10", "ranf", "push")
+        trace.record("T13", "ranf", "distribute")
+        assert len(trace) == 2
+        assert str(trace) == trace.render()
+        assert "[ranf:T10]" in str(trace)
