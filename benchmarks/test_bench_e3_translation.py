@@ -83,6 +83,41 @@ def test_e3_practical_translation(benchmark, results_dir):
     print(table)
 
 
+def test_e3_verify_plans_overhead(benchmark, results_dir):
+    """Plan-sanitizer cost: translating the whole gallery with
+    ``verify_plans`` off (the production default — one boolean test)
+    must stay within noise of the PR 1 baseline; the table records the
+    verified path alongside for comparison."""
+    import time
+
+    queries = [e.query for e in GALLERY.values() if e.translatable]
+
+    def translate_all(verify: bool) -> int:
+        for q in queries:
+            translate_query(q, verify_plans=verify)
+        return len(queries)
+
+    count = benchmark(translate_all, False)
+
+    def best_of(verify: bool, rounds: int = 5) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            translate_all(verify)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    off = best_of(False)
+    on = best_of(True)
+    write_table(
+        results_dir, "E3_verify_overhead",
+        "E3 — plan verification overhead (gallery translation)",
+        ["verify_plans", "queries", "best ms", "vs off"],
+        [["off", count, f"{off * 1e3:.2f}", "1.00x"],
+         ["on", count, f"{on * 1e3:.2f}", f"{on / off:.2f}x"]],
+    )
+
+
 def test_e3_random_corpus(benchmark, results_dir):
     interp = Interpretation({
         "f": lambda v: (_n(v) * 7 + 1) % 11,

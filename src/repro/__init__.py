@@ -23,6 +23,8 @@ Package map:
 * :mod:`repro.data` — relations, instances, interpretations, term closures;
 * :mod:`repro.finds` — finiteness dependencies and reduced covers;
 * :mod:`repro.safety` — pushnot, bd, em-allowed, and comparator criteria;
+* :mod:`repro.analysis` — structured diagnostics, the formula linter,
+  and the algebra plan sanitizer;
 * :mod:`repro.algebra` — the extended algebra and its evaluator;
 * :mod:`repro.translate` — the four-step translation (T1–T16);
 * :mod:`repro.semantics` — reference evaluation and EDI checking;
@@ -32,6 +34,14 @@ Package map:
 """
 
 from repro.algebra import evaluate, to_algebra_text
+from repro.analysis import (
+    Diagnostic,
+    lint_formula,
+    lint_query,
+    lint_source,
+    render_diagnostics,
+    sanitize_plan,
+)
 from repro.core import (
     CalculusQuery,
     DatabaseSchema,
@@ -44,9 +54,11 @@ from repro.errors import (
     EvaluationError,
     NotEmAllowedError,
     ParseError,
+    PlanInvariantError,
     ReproError,
     SafetyError,
     SchemaError,
+    SourceSpan,
     TransformationStuckError,
     TranslationError,
 )
@@ -68,8 +80,11 @@ __all__ = [
     "parse_query", "parse_formula", "to_text", "CalculusQuery", "DatabaseSchema",
     # data
     "Instance", "Relation", "Interpretation",
-    # analysis
+    # safety analysis
     "bd", "em_allowed", "em_allowed_query",
+    # static analysis
+    "Diagnostic", "SourceSpan", "render_diagnostics",
+    "lint_formula", "lint_query", "lint_source", "sanitize_plan",
     # translation
     "translate_query", "translate_query_adom", "to_algebra_text",
     # evaluation
@@ -80,5 +95,5 @@ __all__ = [
     # errors
     "ReproError", "ParseError", "SchemaError", "SafetyError",
     "NotEmAllowedError", "TranslationError", "TransformationStuckError",
-    "EvaluationError",
+    "PlanInvariantError", "EvaluationError",
 ]

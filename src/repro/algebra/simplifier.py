@@ -114,11 +114,32 @@ def _rewrite_once(expr: AlgebraExpr, catalog: Mapping[str, int]) -> AlgebraExpr:
 
 
 def simplify(expr: AlgebraExpr, catalog: Mapping[str, int],
-             max_rounds: int = 8) -> AlgebraExpr:
-    """Apply the rewrites to a fixed point (bounded by ``max_rounds``)."""
+             max_rounds: int = 8, verify: bool = False) -> AlgebraExpr:
+    """Apply the rewrites to a fixed point (bounded by ``max_rounds``).
+
+    With ``verify=True`` the plan sanitizer
+    (:mod:`repro.analysis.sanitizer`) re-checks the plan after every
+    rewrite round and raises
+    :class:`~repro.errors.PlanInvariantError` naming the round that
+    corrupted it — each rewrite must preserve arity, not just the
+    fixed point.
+    """
+    if verify:
+        # Imported lazily: the sanitizer depends on this package.
+        from repro.analysis.sanitizer import check_plan
+        expected = len(expr.exprs) if isinstance(expr, Project) else None
+        check_plan(expr, catalog, phase="simplify input",
+                   expected_arity=expected)
+    else:
+        check_plan = None
+        expected = None
     current = expr
-    for _ in range(max_rounds):
+    for round_no in range(max_rounds):
         rewritten = _rewrite_once(current, catalog)
+        if check_plan is not None:
+            check_plan(rewritten, catalog,
+                       phase=f"simplifier round {round_no + 1}",
+                       expected_arity=expected)
         if rewritten == current:
             return current
         current = rewritten

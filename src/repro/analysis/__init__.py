@@ -1,0 +1,87 @@
+"""Static analysis over both IRs: diagnostics, linter, plan sanitizer.
+
+Three layers (see DESIGN.md S19):
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` value
+  type, severity order, compiler-style text rendering, and JSON export;
+* :mod:`repro.analysis.linter` — a rule registry over the calculus IR
+  (schema misuse, quantifier hygiene, trivial/contradictory atoms,
+  explanatory em-allowed safety rules);
+* :mod:`repro.analysis.sanitizer` — bottom-up schema inference over
+  algebra plans, wired into the translation pipeline and simplifier
+  behind ``verify_plans``.
+
+Only the diagnostics core is imported eagerly: the safety layer
+(:mod:`repro.safety.em_allowed`) imports it, while the linter imports
+the safety layer back — the remaining names load lazily via module
+``__getattr__`` to keep that cycle open.
+"""
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    diagnostics_to_dict,
+    diagnostics_to_json,
+    has_errors,
+    max_severity,
+    render_diagnostic,
+    render_diagnostics,
+    save_diagnostics,
+    sort_diagnostics,
+)
+
+__all__ = [
+    # diagnostics (eager)
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "Diagnostic",
+    "has_errors",
+    "max_severity",
+    "sort_diagnostics",
+    "render_diagnostic",
+    "render_diagnostics",
+    "diagnostics_to_dict",
+    "diagnostics_to_json",
+    "save_diagnostics",
+    # linter (lazy)
+    "Linter",
+    "LintRule",
+    "LintTarget",
+    "DEFAULT_LINTER",
+    "lint_formula",
+    "lint_query",
+    "lint_source",
+    # sanitizer (lazy)
+    "sanitize_plan",
+    "check_plan",
+    "set_verify_plans",
+    "verify_plans_enabled",
+]
+
+_LINTER_NAMES = frozenset({
+    "Linter", "LintRule", "LintTarget", "DEFAULT_LINTER",
+    "lint_formula", "lint_query", "lint_source",
+})
+_SANITIZER_NAMES = frozenset({
+    "sanitize_plan", "check_plan", "set_verify_plans",
+    "verify_plans_enabled",
+})
+
+
+def __getattr__(name: str):
+    if name in _LINTER_NAMES:
+        from repro.analysis import linter
+        return getattr(linter, name)
+    if name in _SANITIZER_NAMES:
+        from repro.analysis import sanitizer
+        return getattr(sanitizer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

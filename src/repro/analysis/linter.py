@@ -1,0 +1,542 @@
+"""The formula linter: a rule registry over the calculus IR.
+
+Rules inspect a :class:`LintTarget` (body formula, optional head terms,
+optional schema and annotations) and report structured
+:class:`~repro.analysis.diagnostics.Diagnostic` values.  The built-in
+rule set covers the static mistakes a query author actually makes:
+
+=======  ========  ====================================================
+code     severity  finding
+=======  ========  ====================================================
+LN000    error     source text does not parse
+LN001    error     unknown relation (schema given)
+LN002    error     relation used with the wrong arity (schema given)
+LN003    error     function applied with the wrong arity (schema given)
+LN004    warning   quantifier shadows a variable already in scope
+LN005    warning   quantified variable never used in the body
+LN006    warning   vacuous quantifier (no bound variable is used)
+LN007    error     head term uses a variable not free in the body
+LN008    warning   trivially true/false atom (``x = x``, ``1 = 2``)
+LN009    warning   contradictory equality chain in a conjunction
+LN010    warning   double negation
+EM001    error     free variables not bounded (safety condition 1)
+EM002    error     exists-variables not bounded in scope (condition 2)
+EM003    error     forall-variables not bounded in scope (condition 3)
+=======  ========  ====================================================
+
+The ``EM``-class rules delegate to
+:func:`repro.safety.em_allowed.em_allowed_diagnostics`, which converts
+each failed FinD entailment into a diagnostic naming the offending
+subformula, the unbounded variables, and a concrete fix (a bounding
+conjunct, or a :mod:`repro.finds.annotations` inverse annotation).
+
+``DEFAULT_LINTER`` holds the built-in rules; build a :class:`Linter`
+with a subset (``DEFAULT_LINTER.without("LN004")``) or register custom
+rules with the ``@linter.rule(...)`` decorator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    sort_diagnostics,
+)
+from repro.core.formulas import (
+    And,
+    Compare,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    free_variables,
+    subformulas_with_paths,
+)
+from repro.core.queries import CalculusQuery
+from repro.core.schema import DatabaseSchema
+from repro.core.terms import Const, Func, Term, Var, walk_term, \
+    variables as term_variables
+from repro.errors import FormulaError, ParseError, SchemaError
+
+__all__ = [
+    "LintTarget",
+    "LintRule",
+    "Linter",
+    "DEFAULT_LINTER",
+    "lint_formula",
+    "lint_query",
+    "lint_source",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LintTarget:
+    """Everything a lint rule may inspect.
+
+    ``head`` is None when linting a bare formula; ``schema`` and
+    ``annotations`` are optional and rules needing them no-op without.
+    """
+
+    body: Formula
+    head: tuple[Term, ...] | None = None
+    schema: DatabaseSchema | None = None
+    annotations: object = None
+
+    def atoms(self) -> Iterator[tuple[str, Formula]]:
+        """(path, atom) for every relation/equality/comparison atom."""
+        for path, sub in subformulas_with_paths(self.body):
+            if isinstance(sub, (Equals, Compare)) or hasattr(sub, "terms"):
+                yield path, sub
+
+
+@dataclass(frozen=True, slots=True)
+class LintRule:
+    """One registered rule: stable code, severity, and a check callable
+    mapping a :class:`LintTarget` to an iterable of diagnostics."""
+
+    code: str
+    name: str
+    severity: str
+    description: str
+    check: Callable[[LintTarget], Iterable[Diagnostic]]
+
+
+class Linter:
+    """An ordered registry of lint rules.
+
+    ``lint`` runs every rule and returns the findings sorted by
+    severity.  Registries compose: ``without`` drops rules by code,
+    ``rule`` registers new ones (also usable as a decorator)::
+
+        linter = Linter(DEFAULT_LINTER.rules)
+
+        @linter.rule("XX001", "no-W-relation", severity=WARNING)
+        def no_w(target):
+            ...
+    """
+
+    def __init__(self, rules: Iterable[LintRule] = ()):
+        self._rules: dict[str, LintRule] = {}
+        for rule in rules:
+            self.register(rule)
+
+    def register(self, rule: LintRule) -> LintRule:
+        if rule.code in self._rules:
+            raise ValueError(f"duplicate lint rule code {rule.code!r}")
+        self._rules[rule.code] = rule
+        return rule
+
+    def rule(self, code: str, name: str, severity: str = WARNING,
+             description: str = ""):
+        """Decorator form of :meth:`register`."""
+        def decorate(fn: Callable[[LintTarget], Iterable[Diagnostic]]):
+            self.register(LintRule(code, name, severity,
+                                   description or (fn.__doc__ or "").strip(),
+                                   fn))
+            return fn
+        return decorate
+
+    @property
+    def rules(self) -> tuple[LintRule, ...]:
+        return tuple(self._rules[c] for c in sorted(self._rules))
+
+    def without(self, *codes: str) -> "Linter":
+        """A new linter with the named rules removed."""
+        dropped = set(codes)
+        return Linter(r for r in self.rules if r.code not in dropped)
+
+    def lint(self, target: LintTarget) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for rule in self.rules:
+            out.extend(rule.check(target))
+        return sort_diagnostics(out)
+
+
+DEFAULT_LINTER = Linter()
+
+
+# ---------------------------------------------------------------------------
+# Schema rules (no-ops without a schema)
+# ---------------------------------------------------------------------------
+
+@DEFAULT_LINTER.rule("LN001", "unknown-relation", ERROR)
+def _unknown_relation(target: LintTarget):
+    """A relation atom names a relation the schema does not declare."""
+    if target.schema is None:
+        return
+    for path, sub in subformulas_with_paths(target.body):
+        if hasattr(sub, "terms") and not target.schema.has_relation(sub.name):
+            declared = sorted(r.name for r in target.schema.relations)
+            yield Diagnostic(
+                "LN001", ERROR,
+                f"unknown relation {sub.name!r}",
+                path=path, subject=str(sub),
+                suggestion=f"declared relations: {', '.join(declared) or '(none)'}")
+
+
+@DEFAULT_LINTER.rule("LN002", "relation-arity-mismatch", ERROR)
+def _relation_arity(target: LintTarget):
+    """A relation atom's arity disagrees with its declaration."""
+    if target.schema is None:
+        return
+    for path, sub in subformulas_with_paths(target.body):
+        if hasattr(sub, "terms") and target.schema.has_relation(sub.name):
+            decl = target.schema.relation(sub.name)
+            if decl.arity != sub.arity:
+                yield Diagnostic(
+                    "LN002", ERROR,
+                    f"relation {sub.name} used with arity {sub.arity}, "
+                    f"declared {decl.arity}",
+                    path=path, subject=str(sub),
+                    suggestion=f"supply exactly {decl.arity} argument(s)")
+
+
+@DEFAULT_LINTER.rule("LN003", "function-arity-mismatch", ERROR)
+def _function_signature(target: LintTarget):
+    """A scalar function application disagrees with its signature."""
+    if target.schema is None:
+        return
+
+    def check_term(term: Term, path: str, context: str):
+        for node in walk_term(term):
+            if not isinstance(node, Func):
+                continue
+            if not target.schema.has_function(node.name):
+                if target.schema.has_relation(node.name):
+                    yield Diagnostic(
+                        "LN003", ERROR,
+                        f"relation {node.name} used as a scalar function",
+                        path=path, subject=context)
+                else:
+                    yield Diagnostic(
+                        "LN003", ERROR,
+                        f"unknown function {node.name!r}",
+                        path=path, subject=context)
+            else:
+                sig = target.schema.function(node.name)
+                if sig.arity != node.arity:
+                    yield Diagnostic(
+                        "LN003", ERROR,
+                        f"function {node.name} applied to {node.arity} "
+                        f"argument(s), declared {sig.arity}",
+                        path=path, subject=context)
+
+    for path, sub in subformulas_with_paths(target.body):
+        if hasattr(sub, "terms"):
+            for t in sub.terms:
+                yield from check_term(t, path, str(sub))
+        elif isinstance(sub, (Equals, Compare)):
+            yield from check_term(sub.left, path, str(sub))
+            yield from check_term(sub.right, path, str(sub))
+    for t in target.head or ():
+        yield from check_term(t, "head", str(t))
+
+
+# ---------------------------------------------------------------------------
+# Quantifier hygiene
+# ---------------------------------------------------------------------------
+
+def _walk_scoped(formula: Formula, path: str, scope: frozenset[str]):
+    """(path, subformula, names-in-scope) for every quantifier node."""
+    if isinstance(formula, (Exists, Forall)):
+        yield path, formula, scope
+        tag = "exists" if isinstance(formula, Exists) else "forall"
+        yield from _walk_scoped(formula.body, f"{path}.{tag}",
+                                scope | frozenset(formula.vars))
+    elif isinstance(formula, Not):
+        yield from _walk_scoped(formula.child, f"{path}.not", scope)
+    elif isinstance(formula, (And, Or)):
+        for i, child in enumerate(formula.children):
+            yield from _walk_scoped(child, f"{path}[{i}]", scope)
+
+
+@DEFAULT_LINTER.rule("LN004", "shadowed-variable", WARNING)
+def _shadowed(target: LintTarget):
+    """A quantifier rebinds a name already bound (or free) in scope."""
+    free = free_variables(target.body)
+    for path, sub, scope in _walk_scoped(target.body, "body", frozenset(free)):
+        clashes = [v for v in sub.vars if v in scope]
+        if clashes:
+            yield Diagnostic(
+                "LN004", WARNING,
+                f"quantifier shadows {clashes} already in scope",
+                path=path, subject=str(sub),
+                suggestion="rename the inner variable; the pipeline will "
+                           "standardize apart, but shadowing obscures intent")
+
+
+@DEFAULT_LINTER.rule("LN005", "unused-quantified-variable", WARNING)
+def _unused_vars(target: LintTarget):
+    """A quantified variable never occurs free in the quantifier body."""
+    for path, sub in subformulas_with_paths(target.body):
+        if not isinstance(sub, (Exists, Forall)):
+            continue
+        used = free_variables(sub.body)
+        unused = [v for v in sub.vars if v not in used]
+        if unused and len(unused) < len(sub.vars):
+            yield Diagnostic(
+                "LN005", WARNING,
+                f"quantified variables {unused} never used in the body",
+                path=path, subject=str(sub),
+                suggestion="drop the unused variable(s) from the quantifier")
+
+
+@DEFAULT_LINTER.rule("LN006", "vacuous-quantifier", WARNING)
+def _vacuous_quantifier(target: LintTarget):
+    """No variable the quantifier binds occurs in its body — the whole
+    quantifier is a no-op."""
+    for path, sub in subformulas_with_paths(target.body):
+        if not isinstance(sub, (Exists, Forall)):
+            continue
+        used = free_variables(sub.body)
+        if not any(v in used for v in sub.vars):
+            yield Diagnostic(
+                "LN006", WARNING,
+                f"vacuous quantifier: none of {list(sub.vars)} occurs in "
+                f"the body",
+                path=path, subject=str(sub),
+                suggestion="remove the quantifier; it neither binds nor "
+                           "restricts anything")
+
+
+# ---------------------------------------------------------------------------
+# Head / body consistency
+# ---------------------------------------------------------------------------
+
+@DEFAULT_LINTER.rule("LN007", "head-variable-not-free", ERROR)
+def _head_vars(target: LintTarget):
+    """A head term mentions a variable that is not free in the body."""
+    if target.head is None:
+        return
+    body_free = free_variables(target.body)
+    for i, term in enumerate(target.head):
+        extra = sorted(term_variables(term) - body_free)
+        if extra:
+            yield Diagnostic(
+                "LN007", ERROR,
+                f"head term {term} uses variables {extra} not free in the "
+                f"body",
+                path=f"head[{i}]", subject=str(term),
+                suggestion="bind the variable in the body (a relation atom "
+                           "or equality) or remove it from the head")
+
+
+# ---------------------------------------------------------------------------
+# Trivial and contradictory atoms
+# ---------------------------------------------------------------------------
+
+def _const_value(term: Term):
+    return term.value if isinstance(term, Const) else None
+
+
+@DEFAULT_LINTER.rule("LN008", "trivial-atom", WARNING)
+def _trivial_atoms(target: LintTarget):
+    """An atom is decidable without looking at any data."""
+    # Equality atoms under a negation are reported once, at the ``!=``.
+    negated = {id(sub.child) for _, sub in subformulas_with_paths(target.body)
+               if isinstance(sub, Not) and isinstance(sub.child, Equals)}
+    for path, sub in subformulas_with_paths(target.body):
+        if isinstance(sub, Not) and isinstance(sub.child, Equals):
+            eq = sub.child
+            if eq.left == eq.right:
+                yield Diagnostic(
+                    "LN008", WARNING,
+                    f"atom {eq.left} != {eq.right} is trivially false",
+                    path=path, subject=str(sub),
+                    suggestion="the enclosing conjunct can never hold")
+        elif isinstance(sub, Equals) and id(sub) not in negated:
+            if sub.left == sub.right:
+                yield Diagnostic(
+                    "LN008", WARNING,
+                    f"atom {sub} is trivially true",
+                    path=path, subject=str(sub),
+                    suggestion="drop the atom; it constrains nothing")
+            elif (isinstance(sub.left, Const) and isinstance(sub.right, Const)
+                    and sub.left.value != sub.right.value):
+                yield Diagnostic(
+                    "LN008", WARNING,
+                    f"atom {sub} is trivially false",
+                    path=path, subject=str(sub))
+        elif isinstance(sub, Compare):
+            if isinstance(sub.left, Const) and isinstance(sub.right, Const):
+                yield Diagnostic(
+                    "LN008", WARNING,
+                    f"comparison {sub} is between two constants",
+                    path=path, subject=str(sub),
+                    suggestion="fold the constant comparison away")
+
+
+class _UnionFind:
+    """Tiny union-find with per-class constant values, for LN009."""
+
+    def __init__(self):
+        self.parent: dict[str, str] = {}
+        self.value: dict[str, object] = {}
+
+    def find(self, name: str) -> str:
+        self.parent.setdefault(name, name)
+        root = name
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[name] != root:
+            self.parent[name], name = root, self.parent[name]
+        return root
+
+    def assign(self, name: str, value) -> object | None:
+        """Bind name's class to value; returns the clashing old value
+        when the class already holds a different one."""
+        root = self.find(name)
+        if root in self.value and self.value[root] != value:
+            return self.value[root]
+        self.value[root] = value
+        return None
+
+    def union(self, a: str, b: str) -> tuple | None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return None
+        va, vb = self.value.get(ra), self.value.get(rb)
+        if va is not None and vb is not None and va != vb:
+            return va, vb
+        self.parent[ra] = rb
+        if vb is None and va is not None:
+            self.value[rb] = va
+        return None
+
+
+@DEFAULT_LINTER.rule("LN009", "contradictory-equalities", WARNING)
+def _contradictions(target: LintTarget):
+    """The equality atoms of one conjunction pin a variable to two
+    different constants — the conjunction is unsatisfiable."""
+    for path, sub in subformulas_with_paths(target.body):
+        if not isinstance(sub, And):
+            continue
+        uf = _UnionFind()
+        for child in sub.children:
+            if not isinstance(child, Equals):
+                continue
+            left, right = child.left, child.right
+            if isinstance(left, Var) and isinstance(right, Const):
+                clash = uf.assign(left.name, right.value)
+                if clash is not None:
+                    yield Diagnostic(
+                        "LN009", WARNING,
+                        f"{left.name} is equated with both {clash!r} and "
+                        f"{right.value!r}; the conjunction is unsatisfiable",
+                        path=path, subject=str(child),
+                        suggestion="remove one of the conflicting equalities")
+            elif isinstance(right, Var) and isinstance(left, Const):
+                clash = uf.assign(right.name, left.value)
+                if clash is not None:
+                    yield Diagnostic(
+                        "LN009", WARNING,
+                        f"{right.name} is equated with both {clash!r} and "
+                        f"{left.value!r}; the conjunction is unsatisfiable",
+                        path=path, subject=str(child),
+                        suggestion="remove one of the conflicting equalities")
+            elif isinstance(left, Var) and isinstance(right, Var):
+                clash = uf.union(left.name, right.name)
+                if clash is not None:
+                    yield Diagnostic(
+                        "LN009", WARNING,
+                        f"equality chain forces {left.name} = {right.name} "
+                        f"but they are pinned to {clash[0]!r} and "
+                        f"{clash[1]!r}",
+                        path=path, subject=str(child),
+                        suggestion="remove one of the conflicting equalities")
+
+
+@DEFAULT_LINTER.rule("LN010", "double-negation", WARNING)
+def _double_negation(target: LintTarget):
+    """``~~phi`` (including ``~(t != t')``) simplifies away."""
+    for path, sub in subformulas_with_paths(target.body):
+        if isinstance(sub, Not) and isinstance(sub.child, Not):
+            inner = sub.child.child
+            if isinstance(inner, Equals):
+                fix = f"write {inner} directly"
+            else:
+                fix = "drop both negations"
+            yield Diagnostic(
+                "LN010", WARNING,
+                f"double negation around {inner}",
+                path=path, subject=str(sub), suggestion=fix)
+
+
+# ---------------------------------------------------------------------------
+# Safety (em-allowed) rules — explanatory diagnostics for every failed
+# FinD entailment
+# ---------------------------------------------------------------------------
+
+@DEFAULT_LINTER.rule("EM001", "em-allowed", ERROR,
+                     "the query fails the em-allowed safety criterion")
+def _em_allowed(target: LintTarget):
+    from repro.safety.em_allowed import em_allowed_diagnostics
+    yield from em_allowed_diagnostics(target.body,
+                                      annotations=target.annotations)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+def lint_formula(formula: Formula, schema: DatabaseSchema | None = None,
+                 annotations=None,
+                 linter: Linter | None = None) -> list[Diagnostic]:
+    """Lint a bare formula (no head)."""
+    linter = linter or DEFAULT_LINTER
+    return linter.lint(LintTarget(formula, None, schema, annotations))
+
+
+def lint_query(query: CalculusQuery, schema: DatabaseSchema | None = None,
+               annotations=None,
+               linter: Linter | None = None) -> list[Diagnostic]:
+    """Lint a constructed query (head + body)."""
+    linter = linter or DEFAULT_LINTER
+    return linter.lint(LintTarget(query.body, query.head, schema, annotations))
+
+
+def lint_source(text: str, schema: DatabaseSchema | None = None,
+                annotations=None,
+                linter: Linter | None = None) -> list[Diagnostic]:
+    """Parse and lint query source text.
+
+    Failures of parsing itself become diagnostics too: a syntax error is
+    ``LN000`` (with the source span), a head/body inconsistency is
+    ``LN007``.  Parsing prefers the schema-less mode so that schema
+    violations surface through the structured rules (LN001–LN003, with
+    paths and suggestions) rather than as a blunt parse error; when the
+    schema-less parse fails (e.g. relation names that defy the case
+    convention), the schema-directed parse is tried before giving up.
+    """
+    from repro.core.parser import parse_query
+    query = None
+    first_error: Exception | None = None
+    try:
+        query = parse_query(text)
+    except (ParseError, FormulaError, SchemaError) as err:
+        first_error = err
+    if query is None and schema is not None:
+        try:
+            query = parse_query(text, schema)
+        except (ParseError, FormulaError, SchemaError):
+            pass
+    if query is None:
+        if isinstance(first_error, FormulaError):
+            return [Diagnostic("LN007", ERROR, str(first_error),
+                               suggestion="bind every head variable in the "
+                                          "body and name every free body "
+                                          "variable in the head")]
+        message = str(first_error).splitlines()[0]
+        span = getattr(first_error, "span", None)
+        if span is not None:
+            # The span carries the location; drop the rendered suffix.
+            message = message.removesuffix(
+                f" (line {span.line}, column {span.column})")
+        return [Diagnostic("LN000", ERROR, message, span=span)]
+    return lint_query(query, schema, annotations, linter)

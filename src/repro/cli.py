@@ -4,6 +4,12 @@ Commands:
 
 * ``check  'QUERY'``               — parse and classify under every safety
   criterion, printing ``bd`` and the reasons for any refusal;
+  ``--explain`` renders the full structured diagnostics (code, offending
+  subformula, suggested fix) for every failed entailment;
+* ``lint   'QUERY'``               — run the static formula linter
+  (:mod:`repro.analysis.linter`): schema misuse, quantifier hygiene,
+  trivial atoms, and the em-allowed safety rules, as compiler-style
+  diagnostics; ``--json [OUT]`` exports the diagnostics bundle;
 * ``translate 'QUERY'``            — run the four-step translation and print
   the ENF formula, the transformation trace, and the algebra plan;
 * ``run 'QUERY' --data FILE``      — translate and execute against a JSON
@@ -16,7 +22,9 @@ Commands:
   summary, optional ``--json out.json`` export;
 * ``demo``                         — walk the paper's query gallery.
 
-Exit codes: 0 success, 1 refusal (unsafe query), 2 library error,
+Exit codes: 0 success, 1 refusal (``translate``/``run`` on an unsafe
+query) or warnings only (``lint``), 2 errors — safety violations from
+``check``, lint errors, or any other library error — and
 3 missing/unparseable ``--data`` file.
 
 The CLI is a thin veneer over the public API; everything it does is a
@@ -46,7 +54,6 @@ from repro.finds.find import format_finds
 from repro.safety import (
     allowed,
     bd,
-    em_allowed_violations,
     range_restricted,
     safe_top91,
 )
@@ -86,21 +93,57 @@ def _load_data(path: str):
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import render_diagnostics
+    from repro.safety.em_allowed import em_allowed_diagnostics
+
     query = parse_query(args.query)
     body = query.body
     print(f"query:            {query}")
     print(f"bd(body):         {format_finds(bd(body))}")
-    problems = em_allowed_violations(body)
-    print(f"em-allowed:       {not problems}")
-    for problem in problems:
-        print(f"  - {problem}")
+    diagnostics = em_allowed_diagnostics(body)
+    print(f"em-allowed:       {not diagnostics}")
+    for diagnostic in diagnostics:
+        print(f"  - {diagnostic.message}")
     print(f"allowed [GT91]:   {allowed(body)}")
     try:
         print(f"safe [Top91]:     {safe_top91(body)}")
     except ValueError as err:
         print(f"safe [Top91]:     skipped ({err})")
     print(f"range-restricted: {range_restricted(body)}")
-    return 0 if not problems else 1
+    if args.explain and diagnostics:
+        print()
+        print(render_diagnostics(diagnostics, source=args.query))
+    return 0 if not diagnostics else 2
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import (
+        diagnostics_to_json,
+        has_errors,
+        render_diagnostics,
+    )
+    from repro.analysis.linter import lint_source
+
+    diagnostics = lint_source(args.query)
+    if args.json is not None:
+        payload = diagnostics_to_json(diagnostics, source=args.query)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w") as handle:
+                    handle.write(payload + "\n")
+            except OSError as err:
+                reason = err.strerror or str(err)
+                raise _DataFileError(
+                    f"cannot write lint report to {args.json!r}: {reason}",
+                    hint="--json expects a writable output path") from None
+            print(f"lint report written to {args.json}")
+    else:
+        print(render_diagnostics(diagnostics, source=args.query))
+    if has_errors(diagnostics):
+        return 2
+    return 1 if diagnostics else 0
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
@@ -221,7 +264,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="classify a query under the safety criteria")
     check.add_argument("query", help="e.g. \"{ x | R(x) & exists y (f(x) = y & ~R(y)) }\"")
+    check.add_argument("--explain", action="store_true",
+                       help="render the full structured diagnostics for "
+                            "every safety violation")
     check.set_defaults(fn=_cmd_check)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the static formula linter (schema misuse, quantifier "
+             "hygiene, trivial atoms, em-allowed safety)")
+    lint.add_argument("query")
+    lint.add_argument("--json", nargs="?", const="-", metavar="OUT",
+                      help="emit the diagnostics bundle as JSON to OUT "
+                           "(or stdout when no path is given)")
+    lint.set_defaults(fn=_cmd_lint)
 
     translate = sub.add_parser("translate", help="translate a query to the algebra")
     translate.add_argument("query")

@@ -51,6 +51,7 @@ __all__ = [
     "all_variables",
     "bound_variables",
     "subformulas",
+    "subformulas_with_paths",
     "formula_size",
     "formula_function_depth",
     "relation_names",
@@ -412,6 +413,30 @@ def subformulas(formula: Formula) -> Iterator[Formula]:
             stack.extend(reversed(current.children))
         elif isinstance(current, (Exists, Forall)):
             stack.append(current.body)
+
+
+def subformulas_with_paths(formula: Formula,
+                           root: str = "body") -> Iterator[tuple[str, Formula]]:
+    """Yield ``(path, subformula)`` pairs, pre-order.
+
+    Paths address subformulas structurally: connective children are
+    indexed (``body[1]``), negation descends with ``.not``, quantifier
+    bodies with ``.exists`` / ``.forall`` — the location vocabulary of
+    the :mod:`repro.analysis` diagnostics.
+    """
+    stack: list[tuple[str, Formula]] = [(root, formula)]
+    while stack:
+        path, current = stack.pop()
+        yield path, current
+        if isinstance(current, Not):
+            stack.append((f"{path}.not", current.child))
+        elif isinstance(current, (And, Or)):
+            stack.extend((f"{path}[{i}]", c)
+                         for i, c in reversed(list(enumerate(current.children))))
+        elif isinstance(current, Exists):
+            stack.append((f"{path}.exists", current.body))
+        elif isinstance(current, Forall):
+            stack.append((f"{path}.forall", current.body))
 
 
 def formula_size(formula: Formula) -> int:

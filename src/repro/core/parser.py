@@ -128,7 +128,8 @@ class _Parser:
         if token.kind != kind or (value is not None and token.value != value):
             want = value if value is not None else kind
             raise ParseError(f"expected {want!r}, found {token.value!r}",
-                             token.position, self.text)
+                             token.position, self.text,
+                             length=max(1, len(token.value)))
         return self.advance()
 
     def accept(self, kind: str, value: str | None = None) -> bool:
@@ -241,11 +242,13 @@ class _Parser:
         if isinstance(term, Func):
             if self.schema is not None and not self.schema.has_relation(term.name):
                 raise ParseError(
-                    f"{term.name} is not a declared relation", start.position, self.text
+                    f"{term.name} is not a declared relation", start.position,
+                    self.text, length=max(1, len(start.value))
                 )
             return RelAtom(term.name, term.args)
         raise ParseError(
-            f"expected an atom, found bare term {term}", start.position, self.text
+            f"expected an atom, found bare term {term}", start.position,
+            self.text, length=max(1, len(start.value))
         )
 
     def parse_term(self) -> Term:
@@ -272,7 +275,8 @@ class _Parser:
                 return Func(token.value, tuple(args))
             return Var(token.value)
         raise ParseError(f"expected a term, found {token.value!r}",
-                         token.position, self.text)
+                         token.position, self.text,
+                         length=max(1, len(token.value)))
 
 
 def _resolve_terms(term: Term, schema: DatabaseSchema | None, text: str) -> Term:

@@ -12,9 +12,11 @@ from repro.safety.bd import bd, bd_bounded, bd_naive, clear_bd_cache
 from repro.safety.comparators import range_restricted, safe_top91
 from repro.safety.em_allowed import (
     em_allowed,
+    em_allowed_diagnostics,
     em_allowed_for,
     em_allowed_query,
     em_allowed_violations,
+    quantifier_diagnostics,
     quantifier_violations,
     require_em_allowed,
 )
@@ -32,9 +34,11 @@ __all__ = [
     "allowed",
     "allowed_violations",
     "em_allowed",
+    "em_allowed_diagnostics",
     "em_allowed_for",
     "em_allowed_query",
     "em_allowed_violations",
+    "quantifier_diagnostics",
     "quantifier_violations",
     "require_em_allowed",
     "range_restricted",

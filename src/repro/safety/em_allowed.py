@@ -25,21 +25,32 @@ variables; every [GT91]-allowed formula is em-allowed (tested in E8).
 the translation (and by the Section 9 generalization): condition (1)
 becomes ``bd(phi) |= X -> free(phi)``, i.e. ``phi`` is safe to evaluate
 once the context has bounded the variables in ``X``.
+
+Each failed FinD entailment is reported as a structured
+:class:`~repro.analysis.diagnostics.Diagnostic` (codes ``EM001`` for
+condition 1, ``EM002``/``EM003`` for the quantifier conditions) naming
+the offending subformula, the unbounded variables, and a concrete fix;
+the historical string-list API (``em_allowed_violations``,
+``quantifier_violations``) is a thin wrapper over those diagnostics.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
+from repro.analysis.diagnostics import ERROR, Diagnostic
 from repro.core.formulas import (
+    Equals,
     Exists,
     Forall,
     Formula,
     Not,
     free_variables,
     subformulas,
+    subformulas_with_paths,
 )
 from repro.core.queries import CalculusQuery
+from repro.core.terms import Func, variables as term_variables
 from repro.errors import NotEmAllowedError
 from repro.finds.closure import attribute_closure
 from repro.safety.bd import bd
@@ -48,64 +59,120 @@ __all__ = [
     "em_allowed",
     "em_allowed_query",
     "em_allowed_for",
+    "em_allowed_diagnostics",
     "em_allowed_violations",
+    "quantifier_diagnostics",
     "quantifier_violations",
     "require_em_allowed",
 ]
 
 
-def quantifier_violations(formula: Formula,
-                          annotations=None) -> list[str]:
-    """Violations of the per-quantifier conditions (2) and (3), over all
-    subformulas of ``formula``."""
-    problems: list[str] = []
+def _inverse_candidates(formula: Formula,
+                        missing: Iterable[str]) -> list[str]:
+    """Function names whose applications trap a missing variable inside
+    an equality atom — the cases a :mod:`repro.finds.annotations`
+    inverse annotation could unlock."""
+    missing = set(missing)
+    names: list[str] = []
     for sub in subformulas(formula):
+        if not isinstance(sub, Equals):
+            continue
+        for side in (sub.left, sub.right):
+            if isinstance(side, Func) and term_variables(side) & missing:
+                if side.name not in names:
+                    names.append(side.name)
+    return names
+
+
+def _bounding_suggestion(formula: Formula, missing: Iterable[str]) -> str:
+    """A concrete fix for unbounded variables: a bounding conjunct,
+    plus the annotation route when a function application traps them."""
+    names = sorted(missing)
+    listed = ", ".join(names)
+    suggestion = (f"add a conjunct that bounds {listed} — e.g. a finite "
+                  f"relation atom R({names[0]}) — so bd can derive "
+                  f"{{}} -> {{{listed}}}")
+    inverses = _inverse_candidates(formula, missing)
+    if inverses:
+        shown = ", ".join(inverses)
+        suggestion += (f"; or declare an inverse FunctionAnnotation for "
+                       f"{shown} (repro.finds.annotations) so the equation "
+                       f"can bound the variable")
+    return suggestion
+
+
+def quantifier_diagnostics(formula: Formula, annotations=None,
+                           root: str = "body") -> list[Diagnostic]:
+    """Structured violations of the per-quantifier conditions (2)/(3),
+    over all subformulas of ``formula``."""
+    out: list[Diagnostic] = []
+    for path, sub in subformulas_with_paths(formula, root):
         if isinstance(sub, Exists):
-            context = free_variables(sub)
-            closed = attribute_closure(context, bd(sub.body, annotations))
-            missing = set(sub.vars) - closed
-            if missing:
-                problems.append(
-                    f"in {sub}: variables {sorted(missing)} not bounded by the "
-                    f"body given {sorted(context) or '{}'}"
-                )
+            body, code, via = sub.body, "EM002", "body"
         elif isinstance(sub, Forall):
-            context = free_variables(sub)
-            closed = attribute_closure(context, bd(Not(sub.body), annotations))
-            missing = set(sub.vars) - closed
-            if missing:
-                problems.append(
-                    f"in {sub}: variables {sorted(missing)} not bounded by the "
-                    f"negated body given {sorted(context) or '{}'}"
-                )
-    return problems
+            body, code, via = Not(sub.body), "EM003", "negated body"
+        else:
+            continue
+        context = free_variables(sub)
+        closed = attribute_closure(context, bd(body, annotations))
+        missing = set(sub.vars) - closed
+        if missing:
+            out.append(Diagnostic(
+                code=code, severity=ERROR,
+                message=(f"in {sub}: variables {sorted(missing)} not bounded "
+                         f"by the {via} given {sorted(context) or '{}'}"),
+                path=path, subject=str(sub),
+                suggestion=_bounding_suggestion(sub.body, missing)))
+    return out
+
+
+def em_allowed_diagnostics(formula: Formula,
+                           assumed_bounded: Iterable[str] = (),
+                           annotations=None,
+                           root: str = "body") -> list[Diagnostic]:
+    """All reasons why ``formula`` is not em-allowed (for the variable
+    set ``assumed_bounded``), as structured diagnostics; an empty list
+    means em-allowed.
+
+    ``annotations`` activates the [RBS87]/[Coh86] inverse-information
+    extension (see :mod:`repro.finds.annotations`).
+    """
+    out: list[Diagnostic] = []
+    assumed = list(assumed_bounded)
+    closed = attribute_closure(assumed, bd(formula, annotations))
+    missing = free_variables(formula) - closed
+    if missing:
+        given = sorted(assumed)
+        out.append(Diagnostic(
+            code="EM001", severity=ERROR,
+            message=(f"free variables {sorted(missing)} are not bounded"
+                     + (f" given {given}" if given else "")),
+            path=root, subject=str(formula),
+            suggestion=_bounding_suggestion(formula, missing)))
+    out.extend(quantifier_diagnostics(formula, annotations, root))
+    return out
 
 
 def em_allowed_violations(formula: Formula,
                           assumed_bounded: Iterable[str] = (),
                           annotations=None) -> list[str]:
-    """All reasons why ``formula`` is not em-allowed (for the variable
-    set ``assumed_bounded``); empty list means em-allowed.
+    """The violation list as plain strings — a thin wrapper over
+    :func:`em_allowed_diagnostics` kept for the historical API."""
+    return [d.message
+            for d in em_allowed_diagnostics(formula, assumed_bounded,
+                                            annotations)]
 
-    ``annotations`` activates the [RBS87]/[Coh86] inverse-information
-    extension (see :mod:`repro.finds.annotations`).
-    """
-    problems: list[str] = []
-    closed = attribute_closure(assumed_bounded, bd(formula, annotations))
-    missing = free_variables(formula) - closed
-    if missing:
-        given = sorted(assumed_bounded)
-        problems.append(
-            f"free variables {sorted(missing)} are not bounded"
-            + (f" given {given}" if given else "")
-        )
-    problems.extend(quantifier_violations(formula, annotations))
-    return problems
+
+def quantifier_violations(formula: Formula,
+                          annotations=None) -> list[str]:
+    """Violations of conditions (2)/(3) as plain strings — a thin
+    wrapper over :func:`quantifier_diagnostics`."""
+    return [d.message for d in quantifier_diagnostics(formula, annotations)]
 
 
 def em_allowed(formula: Formula, annotations=None) -> bool:
     """True when ``formula`` satisfies the em-allowed criterion."""
-    return not em_allowed_violations(formula, annotations=annotations)
+    return not em_allowed_diagnostics(formula, annotations=annotations)
 
 
 def em_allowed_for(formula: Formula, bounded: Iterable[str],
@@ -117,7 +184,7 @@ def em_allowed_for(formula: Formula, bounded: Iterable[str],
     deciding whether a subformula can be evaluated after its sibling
     conjuncts.
     """
-    return not em_allowed_violations(formula, bounded, annotations)
+    return not em_allowed_diagnostics(formula, bounded, annotations)
 
 
 def em_allowed_query(query: CalculusQuery) -> bool:
@@ -126,9 +193,12 @@ def em_allowed_query(query: CalculusQuery) -> bool:
     return em_allowed(query.body)
 
 
-def require_em_allowed(query: CalculusQuery) -> None:
-    """Raise :class:`NotEmAllowedError` with the full violation list if
-    ``query`` is not em-allowed."""
-    problems = em_allowed_violations(query.body)
-    if problems:
-        raise NotEmAllowedError(f"query {query} is not em-allowed", problems)
+def require_em_allowed(query: CalculusQuery, annotations=None) -> None:
+    """Raise :class:`NotEmAllowedError` carrying the full structured
+    diagnostics if ``query`` is not em-allowed."""
+    diagnostics = em_allowed_diagnostics(query.body, annotations=annotations)
+    if diagnostics:
+        suffix = " (with annotations)" if annotations is not None else ""
+        raise NotEmAllowedError(
+            f"query {query} is not em-allowed{suffix}",
+            diagnostics=diagnostics)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.algebra.ast import AlgebraExpr, Project, algebra_size
 from repro.algebra.simplifier import simplify
+from repro.analysis.sanitizer import check_plan, verify_plans_enabled
 from repro.core.formulas import Formula
 from repro.core.queries import CalculusQuery
 from repro.core.schema import DatabaseSchema
@@ -72,7 +73,8 @@ def translate_query(query: CalculusQuery,
                     enable_t10: bool = True,
                     simplify_plan: bool = True,
                     annotations=None,
-                    tracer: SpanTracer | None = None) -> TranslationResult:
+                    tracer: SpanTracer | None = None,
+                    verify_plans: bool | None = None) -> TranslationResult:
     """Translate an em-allowed calculus query into the extended algebra.
 
     Raises :class:`~repro.errors.NotEmAllowedError` when ``check_safety``
@@ -92,6 +94,15 @@ def translate_query(query: CalculusQuery,
     timed span per pipeline phase — standardize, safety, enf, compile,
     simplify — nested under a ``translate`` root span; ``None`` (the
     default) uses the shared disabled tracer and adds no overhead.
+
+    ``verify_plans`` runs the algebra plan sanitizer
+    (:mod:`repro.analysis.sanitizer`) after the compile phase and after
+    every simplifier rewrite, raising
+    :class:`~repro.errors.PlanInvariantError` on any structurally
+    invalid plan; ``None`` (the default) defers to the module-wide
+    default (:func:`repro.analysis.sanitizer.set_verify_plans` — off in
+    production, on throughout the test suite), so the disabled path
+    costs one boolean test.
     """
     if tracer is None:
         tracer = NULL_TRACER
@@ -103,17 +114,7 @@ def translate_query(query: CalculusQuery,
             query = query.standardized()
         if check_safety:
             with tracer.span("safety"):
-                if annotations is None:
-                    require_em_allowed(query)
-                else:
-                    from repro.errors import NotEmAllowedError
-                    from repro.safety.em_allowed import em_allowed_violations
-                    problems = em_allowed_violations(query.body,
-                                                     annotations=annotations)
-                    if problems:
-                        raise NotEmAllowedError(
-                            f"query {query} is not em-allowed "
-                            f"(with annotations)", problems)
+                require_em_allowed(query, annotations=annotations)
 
         with tracer.span("enf") as enf_span:
             enf = to_enf(query.body, trace)
@@ -137,11 +138,18 @@ def translate_query(query: CalculusQuery,
                 compile_span.attrs["plan_ops"] = algebra_size(plan)
 
         resolved_schema = query_schema(query, schema)
+        catalog = {decl.name: decl.arity
+                   for decl in resolved_schema.relations}
+        verify = verify_plans_enabled(verify_plans)
+        if verify:
+            check_plan(plan, catalog, phase="compile",
+                       expected_arity=query.arity)
         if simplify_plan:
             with tracer.span("simplify") as simplify_span:
-                catalog = {decl.name: decl.arity
-                           for decl in resolved_schema.relations}
-                plan = simplify(plan, catalog)
+                plan = simplify(plan, catalog, verify=verify)
+                if verify:
+                    check_plan(plan, catalog, phase="simplify",
+                               expected_arity=query.arity)
                 if tracer.enabled:
                     simplify_span.attrs["plan_ops"] = algebra_size(plan)
     return TranslationResult(plan=plan, enf=enf, trace=trace, schema=resolved_schema)

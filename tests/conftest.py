@@ -4,10 +4,21 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.sanitizer import set_verify_plans
 from repro.core.schema import DatabaseSchema
 from repro.data.instance import Instance
 from repro.data.interpretation import Interpretation
 from repro.data.relation import Relation
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _verify_plans_always_on():
+    """Every translation in the test suite runs under the algebra plan
+    sanitizer: a pipeline phase or simplifier rewrite that emits a
+    structurally invalid plan fails the test that triggered it."""
+    previous = set_verify_plans(True)
+    yield
+    set_verify_plans(previous)
 
 
 @pytest.fixture

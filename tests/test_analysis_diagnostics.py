@@ -1,0 +1,163 @@
+"""Tests for the diagnostics core (repro.analysis.diagnostics) and the
+SourceSpan / ParseError integration."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    diagnostics_to_dict,
+    diagnostics_to_json,
+    has_errors,
+    max_severity,
+    render_diagnostic,
+    render_diagnostics,
+    save_diagnostics,
+    sort_diagnostics,
+)
+from repro.errors import NotEmAllowedError, ParseError, SourceSpan
+
+
+class TestSourceSpan:
+    def test_from_offset_first_line(self):
+        span = SourceSpan.from_offset("{ x | R(x) }", 6, 4)
+        assert (span.line, span.column, span.length) == (1, 7, 4)
+
+    def test_from_offset_later_line(self):
+        span = SourceSpan.from_offset("ab\ncdef\ngh", 5, 2)
+        assert (span.line, span.column) == (2, 3)
+
+    def test_underline_places_carets(self):
+        span = SourceSpan.from_offset("{ x | R(x) }", 6, 4)
+        excerpt, carets = span.underline("{ x | R(x) }").splitlines()
+        assert excerpt == "{ x | R(x) }"
+        assert carets == "      ^^^^"
+
+    def test_underline_clamps_to_line_end(self):
+        span = SourceSpan(1, 3, 99)
+        _, carets = span.underline("abcd").splitlines()
+        assert carets == "  ^^"
+
+    def test_spans_are_one_based(self):
+        with pytest.raises(ValueError):
+            SourceSpan(0, 1)
+        with pytest.raises(ValueError):
+            SourceSpan(1, 0)
+
+    def test_str(self):
+        assert str(SourceSpan(3, 9)) == "3:9"
+
+
+class TestDiagnostic:
+    def test_requires_known_severity(self):
+        with pytest.raises(ValueError):
+            Diagnostic("XX001", "fatal", "boom")
+
+    def test_requires_code(self):
+        with pytest.raises(ValueError):
+            Diagnostic("", ERROR, "boom")
+
+    def test_str_and_is_error(self):
+        d = Diagnostic("EM001", ERROR, "free variables ['y'] are not bounded")
+        assert str(d) == "error[EM001] free variables ['y'] are not bounded"
+        assert d.is_error
+        assert not Diagnostic("LN008", WARNING, "w").is_error
+
+    def test_to_dict_omits_empty_optionals(self):
+        d = Diagnostic("LN008", WARNING, "trivial")
+        assert d.to_dict() == {"code": "LN008", "severity": "warning",
+                               "message": "trivial"}
+
+    def test_to_dict_includes_span_and_suggestion(self):
+        d = Diagnostic("LN000", ERROR, "boom", path="body",
+                       span=SourceSpan(1, 7, 4), subject="R(x)",
+                       suggestion="fix it")
+        out = d.to_dict()
+        assert out["span"] == {"line": 1, "column": 7, "length": 4}
+        assert out["subject"] == "R(x)"
+        assert out["suggestion"] == "fix it"
+
+
+class TestAggregates:
+    def _three(self):
+        return [Diagnostic("LN008", WARNING, "w"),
+                Diagnostic("EM001", ERROR, "e"),
+                Diagnostic("IN001", INFO, "i")]
+
+    def test_has_errors_and_max_severity(self):
+        assert has_errors(self._three())
+        assert max_severity(self._three()) == ERROR
+        assert max_severity([Diagnostic("LN008", WARNING, "w")]) == WARNING
+        assert max_severity([]) is None
+        assert not has_errors([])
+
+    def test_sort_puts_errors_first(self):
+        codes = [d.code for d in sort_diagnostics(self._three())]
+        assert codes == ["EM001", "LN008", "IN001"]
+
+
+class TestRendering:
+    def test_render_with_span_and_source(self):
+        source = "{ x, y | ~R2(x, y) }"
+        d = Diagnostic("EM001", ERROR, "free variables ['y'] are not bounded",
+                       path="body", span=SourceSpan.from_offset(source, 9, 9),
+                       subject="~R2(x, y)", suggestion="add a conjunct")
+        text = render_diagnostic(d, source)
+        assert "error[EM001]" in text
+        assert "--> body (line 1, column 10)" in text
+        assert "^^^^^^^^^" in text
+        assert "in: ~R2(x, y)" in text
+        assert "help: add a conjunct" in text
+
+    def test_render_summary_counts(self):
+        text = render_diagnostics([Diagnostic("EM001", ERROR, "e"),
+                                   Diagnostic("EM002", ERROR, "e2"),
+                                   Diagnostic("LN008", WARNING, "w")])
+        assert text.endswith("2 errors, 1 warning")
+
+    def test_render_empty(self):
+        assert render_diagnostics([]) == "no problems found"
+
+
+class TestJsonExport:
+    def test_bundle_shape(self):
+        bundle = diagnostics_to_dict(
+            [Diagnostic("EM001", ERROR, "e")], source="{ x | ~R(x) }")
+        assert bundle["summary"] == {"error": 1, "warning": 0, "info": 0}
+        assert bundle["source"] == "{ x | ~R(x) }"
+        assert bundle["diagnostics"][0]["code"] == "EM001"
+
+    def test_json_round_trip(self):
+        payload = diagnostics_to_json([Diagnostic("LN008", WARNING, "w")])
+        assert json.loads(payload)["summary"]["warning"] == 1
+
+    def test_save_diagnostics(self, tmp_path):
+        out = tmp_path / "diag.json"
+        save_diagnostics(out, [Diagnostic("EM001", ERROR, "e")])
+        assert json.loads(out.read_text())["summary"]["error"] == 1
+
+
+class TestErrorIntegration:
+    def test_parse_error_carries_span(self):
+        err = ParseError("expected ')'", position=10, text="{ x | R(x &", length=1)
+        assert err.span is not None
+        assert (err.span.line, err.span.column) == (1, 11)
+        assert "^" in str(err)
+
+    def test_parse_error_without_text_has_no_span(self):
+        err = ParseError("boom", position=-1)
+        assert err.span is None
+        assert str(err) == "boom"
+
+    def test_not_em_allowed_reasons_from_diagnostics(self):
+        diags = [Diagnostic("EM001", ERROR, "free variables ['y'] are not bounded")]
+        err = NotEmAllowedError("query q is not em-allowed", diagnostics=diags)
+        assert err.reasons == ["free variables ['y'] are not bounded"]
+        assert err.diagnostics == diags
+        rendered = str(err)
+        assert rendered.splitlines()[0] == "query q is not em-allowed"
+        assert "  - free variables ['y'] are not bounded" in rendered

@@ -1,0 +1,272 @@
+"""Tests for the formula linter (repro.analysis.linter)."""
+
+import pytest
+
+from repro.analysis.diagnostics import ERROR, WARNING
+from repro.analysis.linter import (
+    DEFAULT_LINTER,
+    Linter,
+    LintRule,
+    LintTarget,
+    lint_formula,
+    lint_query,
+    lint_source,
+)
+from repro.core.parser import parse_formula, parse_query
+from repro.core.schema import DatabaseSchema
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+SCHEMA = DatabaseSchema.of({"R": 1, "S": 1, "R2": 2, "P": 2}, {"f": 1, "g": 1})
+
+
+class TestSchemaRules:
+    def test_unknown_relation(self):
+        body = parse_formula("R(x) & Q(x)")
+        ds = [d for d in lint_formula(body, SCHEMA) if d.code == "LN001"]
+        assert len(ds) == 1
+        assert "unknown relation 'Q'" in ds[0].message
+        assert "R" in ds[0].suggestion
+
+    def test_relation_arity_mismatch(self):
+        body = parse_formula("R2(x)")
+        ds = [d for d in lint_formula(body, SCHEMA) if d.code == "LN002"]
+        assert len(ds) == 1
+        assert "used with arity 1, declared 2" in ds[0].message
+
+    def test_function_arity_mismatch(self):
+        body = parse_formula("R(x) & f(x, x) = x")
+        ds = [d for d in lint_formula(body, SCHEMA) if d.code == "LN003"]
+        assert len(ds) == 1
+        assert "applied to 2 argument(s), declared 1" in ds[0].message
+
+    def test_unknown_function(self):
+        body = parse_formula("R(x) & q(x) = x")
+        ds = [d for d in lint_formula(body, SCHEMA) if d.code == "LN003"]
+        assert len(ds) == 1
+        assert "unknown function 'q'" in ds[0].message
+
+    def test_schema_rules_noop_without_schema(self):
+        body = parse_formula("R2(x)")
+        assert not [d for d in lint_formula(body)
+                    if d.code in ("LN001", "LN002", "LN003")]
+
+    def test_clean_formula_has_no_schema_findings(self):
+        body = parse_formula("R(x) & f(x) = y & R2(x, y)")
+        assert not [d for d in lint_formula(body, SCHEMA)
+                    if d.code.startswith("LN00") and d.code <= "LN003"]
+
+
+class TestQuantifierRules:
+    def test_shadowed_variable(self):
+        body = parse_formula("R(x) & exists x (S(x))")
+        ds = [d for d in lint_formula(body) if d.code == "LN004"]
+        assert len(ds) == 1
+        assert "['x']" in ds[0].message
+
+    def test_nested_shadowing(self):
+        body = parse_formula("exists y (S(y) & exists y (R(y)))")
+        assert codes([d for d in lint_formula(body)
+                      if d.code == "LN004"]) == ["LN004"]
+
+    def test_unused_variable_among_used(self):
+        # The parser's make_exists prunes vacuous variables, so the
+        # lint only triggers on programmatically built ASTs.
+        from repro.core.formulas import Exists
+        body = Exists(("y", "z"), parse_formula("S(y)"))
+        ds = [d for d in lint_formula(body) if d.code == "LN005"]
+        assert len(ds) == 1
+        assert "['z']" in ds[0].message
+
+    def test_vacuous_quantifier(self):
+        from repro.core.formulas import Exists
+        body = Exists(("y",), parse_formula("R(x)"))
+        ds = [d for d in lint_formula(body) if d.code == "LN006"]
+        assert len(ds) == 1
+        assert "vacuous" in ds[0].message
+        # LN005 defers to LN006 when every variable is unused
+        assert not [d for d in lint_formula(body) if d.code == "LN005"]
+
+    def test_well_scoped_quantifier_is_clean(self):
+        body = parse_formula("R(x) & exists y (f(x) = y & ~R(y))")
+        assert not [d for d in lint_formula(body)
+                    if d.code in ("LN004", "LN005", "LN006")]
+
+
+class TestHeadRule:
+    def test_head_variable_not_free(self):
+        # Construction refuses such queries, so build the target directly.
+        from repro.core.terms import Var
+        target = LintTarget(parse_formula("R(x)"), head=(Var("x"), Var("y")))
+        ds = [d for d in DEFAULT_LINTER.lint(target) if d.code == "LN007"]
+        assert len(ds) == 1
+        assert "['y']" in ds[0].message
+        assert ds[0].path == "head[1]"
+
+
+class TestTrivialAtoms:
+    def test_x_equals_x(self):
+        body = parse_formula("R(x) & x = x")
+        ds = [d for d in lint_formula(body) if d.code == "LN008"]
+        assert len(ds) == 1
+        assert "trivially true" in ds[0].message
+
+    def test_x_not_equals_x(self):
+        body = parse_formula("R(x) & x != x")
+        ds = [d for d in lint_formula(body) if d.code == "LN008"]
+        assert len(ds) == 1
+        assert "trivially false" in ds[0].message
+
+    def test_constant_equality(self):
+        body = parse_formula("R(x) & 1 = 2")
+        ds = [d for d in lint_formula(body) if d.code == "LN008"]
+        assert len(ds) == 1
+        assert "trivially false" in ds[0].message
+
+    def test_constant_comparison(self):
+        body = parse_formula("R(x) & 1 < 2")
+        ds = [d for d in lint_formula(body) if d.code == "LN008"]
+        assert len(ds) == 1
+        assert "between two constants" in ds[0].message
+
+    def test_honest_atoms_are_clean(self):
+        body = parse_formula("R(x) & x = 1 & x < 5")
+        assert not [d for d in lint_formula(body) if d.code == "LN008"]
+
+
+class TestContradictions:
+    def test_variable_pinned_twice(self):
+        body = parse_formula("R(x) & x = 1 & x = 2")
+        ds = [d for d in lint_formula(body) if d.code == "LN009"]
+        assert len(ds) == 1
+        assert "unsatisfiable" in ds[0].message
+
+    def test_contradiction_through_equality_chain(self):
+        body = parse_formula("R(x) & S(y) & x = 1 & y = 2 & x = y")
+        ds = [d for d in lint_formula(body) if d.code == "LN009"]
+        assert len(ds) == 1
+
+    def test_consistent_chain_is_clean(self):
+        body = parse_formula("R(x) & S(y) & x = 1 & x = y & y = 1")
+        assert not [d for d in lint_formula(body) if d.code == "LN009"]
+
+    def test_separate_conjunctions_do_not_mix(self):
+        body = parse_formula("(R(x) & x = 1) | (R(x) & x = 2)")
+        assert not [d for d in lint_formula(body) if d.code == "LN009"]
+
+
+class TestDoubleNegation:
+    def test_double_negation(self):
+        body = parse_formula("R(x) & ~(x != 1)")
+        ds = [d for d in lint_formula(body) if d.code == "LN010"]
+        assert len(ds) == 1
+        assert "x = 1" in ds[0].suggestion
+
+    def test_single_negation_is_clean(self):
+        body = parse_formula("R(x) & ~S(x)")
+        assert not [d for d in lint_formula(body) if d.code == "LN010"]
+
+
+class TestEmRules:
+    def test_unbounded_free_variable(self):
+        ds = lint_formula(parse_formula("~R(x)"))
+        em = [d for d in ds if d.code == "EM001"]
+        assert len(em) == 1
+        assert "['x']" in em[0].message
+        assert "add a conjunct that bounds x" in em[0].suggestion
+
+    def test_quantifier_violation_names_subformula(self):
+        ds = lint_formula(parse_formula("R(x) & exists y (~S(y))"))
+        em = [d for d in ds if d.code == "EM002"]
+        assert len(em) == 1
+        assert "exists" in em[0].subject
+
+    def test_annotations_silence_em(self):
+        # plus(u, v) = w bounds u, v once w is, given the paper's
+        # inverse annotation for plus over the non-negative integers.
+        from repro.finds.annotations import nonneg_sum_registry
+        body = parse_formula("R(w) & plus(u, v) = w")
+        with_ann = [d for d in lint_formula(
+                        body, annotations=nonneg_sum_registry())
+                    if d.code.startswith("EM")]
+        without = [d for d in lint_formula(body)
+                   if d.code.startswith("EM")]
+        assert without and not with_ann
+
+
+class TestQ4WithoutBoundingConjunct:
+    """Acceptance: q4 with the bounding conjunct ``S(x)`` removed must
+    produce an EM diagnostic naming the unbounded variable, the failing
+    subformula, and a concrete fix."""
+
+    Q4_UNBOUNDED = ("{ x, y | ~(((f(x) != y & g(x) != y) | R2(x, y)) & "
+                    "((h(x) != y & k(x) != y) | P(x, y))) }")
+
+    def test_em_diagnostic_names_variable_and_fix(self):
+        ds = lint_source(self.Q4_UNBOUNDED)
+        em = [d for d in ds if d.code == "EM001"]
+        assert len(em) == 1
+        assert "'y'" in em[0].message          # names the unbounded variable
+        assert "not bounded" in em[0].message
+        assert em[0].subject.startswith("~(")  # the failing subformula
+        assert "add a conjunct that bounds" in em[0].suggestion
+        assert "FunctionAnnotation" in em[0].suggestion  # inverse route
+
+    def test_gallery_q4_with_conjunct_is_clean(self):
+        from repro.workloads.gallery import gallery_entry
+        ds = lint_source(gallery_entry("q4").text)
+        assert not [d for d in ds if d.code.startswith("EM")]
+
+
+class TestLintSource:
+    def test_parse_error_becomes_ln000(self):
+        ds = lint_source("{ x | R(x & }")
+        assert codes(ds) == ["LN000"]
+        assert ds[0].span is not None
+        assert ds[0].span.column == 11
+
+    def test_head_error_becomes_ln007(self):
+        ds = lint_source("{ x, y | R(x) }")
+        assert codes(ds) == ["LN007"]
+
+    def test_schema_violation_reported_structurally(self):
+        ds = lint_source("{ x | Q(x) }", schema=SCHEMA)
+        assert "LN001" in codes(ds)
+
+    def test_clean_query(self):
+        assert lint_source("{ x | R(x) & exists y (f(x) = y & ~R(y)) }") == []
+
+
+class TestLinterRegistry:
+    def test_without_drops_rule(self):
+        linter = DEFAULT_LINTER.without("LN008")
+        body = parse_formula("R(x) & x = x")
+        assert not [d for d in lint_formula(body, linter=linter)
+                    if d.code == "LN008"]
+        assert len(linter.rules) == len(DEFAULT_LINTER.rules) - 1
+
+    def test_duplicate_code_rejected(self):
+        linter = Linter(DEFAULT_LINTER.rules)
+        with pytest.raises(ValueError):
+            linter.register(LintRule("LN008", "dup", WARNING, "", lambda t: []))
+
+    def test_custom_rule_via_decorator(self):
+        linter = Linter()
+
+        @linter.rule("XX001", "everything-is-wrong", severity=ERROR)
+        def everything(target):
+            from repro.analysis.diagnostics import Diagnostic
+            yield Diagnostic("XX001", ERROR, "no")
+
+        ds = lint_formula(parse_formula("R(x)"), linter=linter)
+        assert codes(ds) == ["XX001"]
+
+    def test_default_linter_has_at_least_ten_rules(self):
+        assert len(DEFAULT_LINTER.rules) >= 11
+
+    def test_lint_query_object(self):
+        q = parse_query("{ x | R(x) & x = x }")
+        assert "LN008" in codes(lint_query(q))

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.engine",
     "repro.obs",
     "repro.workloads",
+    "repro.analysis",
 ]
 
 MODULES = PACKAGES + [
@@ -41,6 +42,8 @@ MODULES = PACKAGES + [
     "repro.engine.stats", "repro.engine.optimizer",
     "repro.obs.tracing", "repro.obs.metrics", "repro.obs.profile",
     "repro.obs.explain", "repro.obs.export",
+    "repro.analysis.diagnostics", "repro.analysis.linter",
+    "repro.analysis.sanitizer",
     "repro.workloads.gallery", "repro.workloads.practical",
     "repro.workloads.families", "repro.workloads.random_queries",
     "repro.errors", "repro.cli",

@@ -109,4 +109,8 @@ class TestErrorHierarchy:
     def test_parse_error_position_context(self):
         from repro.errors import ParseError
         err = ParseError("boom", position=3, text="R(x) &&")
-        assert "position 3" in str(err)
+        assert err.position == 3
+        assert "line 1, column 4" in str(err)
+        assert "R(x) &&" in str(err)       # the excerpt line
+        assert "   ^" in str(err)          # the caret under column 4
+        assert err.span is not None and (err.span.line, err.span.column) == (1, 4)

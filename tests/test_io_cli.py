@@ -68,8 +68,15 @@ class TestCli:
     def test_check_unsafe_query_nonzero_exit(self, capsys):
         code = main(["check", "{ x | f(x) = x }"])
         out = capsys.readouterr().out
-        assert code == 1
+        assert code == 2  # safety violations are errors, like lint errors
         assert "not bounded" in out
+
+    def test_check_explain_renders_diagnostics(self, capsys):
+        code = main(["check", "--explain", "{ x | f(x) = x }"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "error[EM001]" in out
+        assert "help:" in out
 
     def test_translate_prints_plan(self, capsys):
         code = main(["translate", "{ g(f(x)) | R(x) }"])
@@ -219,6 +226,64 @@ class TestCliExplainAndModule:
         out = capsys.readouterr().out
         assert code == 0
         assert "30 rows total" in out
+
+
+class TestCliLint:
+    def test_lint_clean_query(self, capsys):
+        code = main(["lint", "{ x | R(x) & exists y (f(x) = y & ~R(y)) }"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no problems found" in out
+
+    def test_lint_warning_exit_code(self, capsys):
+        code = main(["lint", "{ x | R(x) & x = x }"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "warning[LN008]" in out
+
+    def test_lint_error_exit_code(self, capsys):
+        code = main(["lint", "{ x | ~R(x) }"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "error[EM001]" in out
+        assert "help:" in out
+
+    def test_lint_parse_error_has_caret(self, capsys):
+        code = main(["lint", "{ x | R(x & }"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "error[LN000]" in out
+        assert "^" in out
+
+    def test_lint_json_stdout(self, capsys):
+        code = main(["lint", "{ x | ~R(x) }", "--json"])
+        out = capsys.readouterr().out
+        assert code == 2
+        bundle = json.loads(out)
+        assert bundle["summary"]["error"] >= 1
+        assert any(d["code"] == "EM001" for d in bundle["diagnostics"])
+
+    def test_lint_json_file(self, tmp_path, capsys):
+        out_path = tmp_path / "lint.json"
+        code = main(["lint", "{ x | R(x) & x = x }",
+                     "--json", str(out_path)])
+        capsys.readouterr()
+        assert code == 1
+        bundle = json.loads(out_path.read_text())
+        assert bundle["summary"]["warning"] == 1
+
+    def test_lint_gallery_queries_self_host(self, capsys):
+        # The gallery's translatable queries must lint without errors
+        # (warnings are allowed; unsafe gallery entries are expected to
+        # produce EM diagnostics and are skipped here).
+        from repro.safety import em_allowed
+        from repro.workloads.gallery import GALLERY
+        for key, entry in GALLERY.items():
+            if not entry.translatable or not em_allowed(entry.query.body):
+                continue
+            code = main(["lint", entry.text])
+            capsys.readouterr()
+            assert code in (0, 1), key
 
 
 class TestTranslatedPlansTypeCheck:

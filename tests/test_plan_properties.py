@@ -131,6 +131,22 @@ class TestSimplifierProperty:
         assert arity_of(simplify(plan, CATALOG), CATALOG) == \
             arity_of(plan, CATALOG)
 
+    @_SETTINGS
+    @given(st.integers(0, 10_000))
+    def test_simplify_arity_preserving_under_sanitizer(self, plan_seed):
+        """The plan sanitizer accepts every random plan before and
+        after simplification, with the same expected arity — and the
+        verifying simplify (sanitizer after every rewrite round)
+        reaches the same fixed point as the plain one."""
+        from repro.analysis.sanitizer import sanitize_plan
+        plan = random_plan(plan_seed)
+        expected = arity_of(plan, CATALOG)
+        assert sanitize_plan(plan, CATALOG, expected_arity=expected) == []
+        simplified = simplify(plan, CATALOG, verify=True)
+        assert sanitize_plan(simplified, CATALOG,
+                             expected_arity=expected) == []
+        assert simplified == simplify(plan, CATALOG)
+
 
 class TestEnginePlanProperty:
     @_SETTINGS
