@@ -20,6 +20,14 @@ Commands:
 * ``profile 'QUERY' --data FILE``  — instrumented run: translation phase
   spans, per-operator estimated-vs-actual rows and timings, q-error
   summary, optional ``--json out.json`` export;
+* ``serve --requests FILE --data FILE`` — drive a
+  :class:`~repro.service.QueryService` over a JSON request file (plain
+  and parameterized requests, batched parameter rows), printing one
+  line per request plus cache/latency statistics; ``--json`` exports
+  the reports and metrics;
+* ``bench-service``                — in-process serving benchmark:
+  cold-vs-warm plan-cache speedup over the gallery and batched-vs-
+  looped parameter binding;
 * ``demo``                         — walk the paper's query gallery.
 
 Exit codes: 0 success, 1 refusal (``translate``/``run`` on an unsafe
@@ -244,6 +252,78 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueryService, load_requests
+
+    try:
+        requests = load_requests(args.requests)
+    except OSError as err:
+        reason = err.strerror or str(err)
+        raise _DataFileError(
+            f"cannot read requests file {args.requests!r}: {reason}",
+            hint="--requests expects a JSON array of request objects") from None
+    except ValueError as err:
+        raise _DataFileError(
+            f"cannot parse requests file {args.requests!r}: {err}",
+            hint="--requests expects a JSON array of request objects") from None
+    instance = _load_data(args.data)
+    interp = None
+    if args.functions:
+        interp = _load_functions(args.functions, None)
+    service = QueryService(instance, interpretation=interp,
+                           cache_size=args.cache_size,
+                           max_workers=args.workers,
+                           default_timeout_s=args.timeout)
+    with service:
+        reports = service.run_many(requests)
+    failures = 0
+    for i, report in enumerate(reports):
+        print(f"[{i}] {report.query}")
+        print(f"    {report.summary()}")
+        for row in report.rows()[:args.limit]:
+            print("      " + "\t".join(str(v) for v in row))
+        if report.result is not None and len(report.result) > args.limit:
+            print(f"      ... ({len(report.result)} rows total)")
+        if report.status in ("error", "timeout"):
+            failures += 1
+    stats = service.stats()
+    lookups = stats["hits"] + stats["misses"]
+    rate = stats["hits"] / lookups if lookups else 0.0
+    print()
+    print(f"served {stats['requests']} requests: "
+          f"{stats['hits']} cache hits, {stats['misses']} misses "
+          f"({rate:.0%} hit rate), {stats['evictions']} evictions, "
+          f"{stats['refusals']} refusals, {stats['errors']} errors, "
+          f"{stats['timeouts']} timeouts")
+    if args.json:
+        import json as _json
+        payload = {
+            "reports": [r.to_dict() for r in reports],
+            "stats": stats,
+            "metrics": service.metrics.snapshot(),
+        }
+        try:
+            with open(args.json, "w") as handle:
+                _json.dump(payload, handle, indent=2, default=str)
+                handle.write("\n")
+        except OSError as err:
+            reason = err.strerror or str(err)
+            raise _DataFileError(
+                f"cannot write service report to {args.json!r}: {reason}",
+                hint="--json expects a writable output path") from None
+        print(f"report written to {args.json}")
+    return 0 if failures == 0 else 2
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    from repro.service.bench import render_service_bench, run_service_bench
+
+    measurements = run_service_bench(repeat=args.repeat,
+                                     batch_sizes=tuple(args.batch))
+    print(render_service_bench(measurements))
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from repro.workloads.gallery import GALLERY
     print("The paper's query gallery (see examples/safety_lab.py for the "
@@ -309,6 +389,40 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", metavar="OUT",
                          help="write the profile/span/metrics bundle as JSON")
     profile.set_defaults(fn=_cmd_profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a QueryService over a JSON request file "
+             "(plan caching, batched parameters, thread pool)")
+    serve.add_argument("--requests", required=True,
+                       help="JSON array of requests: {\"query\": ...} or "
+                            "{\"params\": [...], \"head\": [...], "
+                            "\"body\": ..., \"rows\": [[...]]}")
+    serve.add_argument("--data", required=True, help="instance JSON file")
+    serve.add_argument("--functions",
+                       help="Python file defining FUNCTIONS = {name: callable}")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="plan cache capacity (default 256)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="thread pool size (default 4)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-request timeout in seconds")
+    serve.add_argument("--limit", type=int, default=5,
+                       help="max rows to print per request")
+    serve.add_argument("--json", metavar="OUT",
+                       help="write reports + cache stats + metrics as JSON")
+    serve.set_defaults(fn=_cmd_serve)
+
+    bench_service = sub.add_parser(
+        "bench-service",
+        help="in-process serving benchmark: cold-vs-warm plan cache, "
+             "batched-vs-looped parameter binding")
+    bench_service.add_argument("--repeat", type=int, default=5,
+                               help="warm repetitions per query (default 5)")
+    bench_service.add_argument("--batch", type=int, nargs="+",
+                               default=[1, 8, 64],
+                               help="parameter batch sizes (default 1 8 64)")
+    bench_service.set_defaults(fn=_cmd_bench_service)
 
     demo = sub.add_parser("demo", help="list the paper's query gallery")
     demo.set_defaults(fn=_cmd_demo)

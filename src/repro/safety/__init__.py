@@ -8,6 +8,8 @@
   [Top91] safety, for the hierarchy experiment.
 """
 
+from repro.safety import bd as _bd_module
+from repro.safety import gen as _gen_module
 from repro.safety.bd import bd, bd_bounded, bd_naive, clear_bd_cache
 from repro.safety.comparators import range_restricted, safe_top91
 from repro.safety.em_allowed import (
@@ -23,6 +25,21 @@ from repro.safety.em_allowed import (
 from repro.safety.gen import allowed, allowed_violations, gen
 from repro.safety.pushnot import pushnot, pushnot_applicable
 
+
+def clear_caches() -> None:
+    """Drop every safety-layer memo table (``gen`` and ``bd``).
+
+    The caches are keyed by immutable formulas (and annotation
+    registries), so they cannot serve wrong answers — but they grow
+    without bound, and a long-lived server that swaps schemas between
+    workloads should not carry the previous workload's tables around.
+    :class:`repro.service.QueryService` calls this on every schema or
+    annotation change.
+    """
+    _gen_module.clear_caches()
+    _bd_module.clear_caches()
+
+
 __all__ = [
     "pushnot",
     "pushnot_applicable",
@@ -30,6 +47,7 @@ __all__ = [
     "bd_naive",
     "bd_bounded",
     "clear_bd_cache",
+    "clear_caches",
     "gen",
     "allowed",
     "allowed_violations",

@@ -62,7 +62,7 @@ from repro.finds.covers import (
 from repro.finds.annotations import AnnotationRegistry
 from repro.finds.find import FinD
 
-__all__ = ["bd", "bd_naive", "bd_bounded", "clear_bd_cache",
+__all__ = ["bd", "bd_naive", "bd_bounded", "clear_bd_cache", "clear_caches",
            "annotation_finds"]
 
 
@@ -177,6 +177,14 @@ def bd_bounded(formula: Formula,
 def clear_bd_cache() -> None:
     """Drop the bd memo table (benchmarks call this between runs)."""
     _bd_cached.cache_clear()
+
+
+def clear_caches() -> None:
+    """Drop the bd memo table — the safety-hygiene entry point the query
+    service calls on every schema or annotation swap.  Entries are keyed
+    by ``(formula, annotations)``, both immutable, so this is about
+    bounding memory in long-lived processes, not correctness."""
+    clear_bd_cache()
 
 
 # ---------------------------------------------------------------------------

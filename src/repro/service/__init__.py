@@ -1,0 +1,46 @@
+"""The query service layer: plan caching and batched execution.
+
+The serving architecture for "same query, millions of requests"
+workloads.  A :class:`~repro.service.service.QueryService` accepts
+calculus query text (optionally parameterized), normalizes it into a
+schema-fingerprinted cache key (:mod:`repro.service.normalize`), and
+keeps an LRU :class:`~repro.service.cache.PlanCache` of translation
+results so the safety check and the four-step translation run once per
+distinct query — every further request pays only parse + execute.
+Batched parameter binding amortizes one plan over many parameter
+tuples, and a thread-pooled ``submit``/``run_many`` path serves mixed
+workloads concurrently with per-request timeouts.
+
+Cache hits/misses/evictions and per-phase latencies flow into the
+:mod:`repro.obs` metrics registry and span tracer the service owns.
+"""
+
+from repro.service.cache import CachedRefusal, CacheKey, PlanCache
+from repro.service.normalize import (
+    canonicalize_bound,
+    canonicalize_query,
+    normalize_query_text,
+    plan_cache_key,
+    schema_fingerprint,
+)
+from repro.service.service import (
+    QueryService,
+    ServiceReport,
+    ServiceRequest,
+    load_requests,
+)
+
+__all__ = [
+    "CacheKey",
+    "CachedRefusal",
+    "PlanCache",
+    "canonicalize_bound",
+    "canonicalize_query",
+    "normalize_query_text",
+    "plan_cache_key",
+    "schema_fingerprint",
+    "QueryService",
+    "ServiceRequest",
+    "ServiceReport",
+    "load_requests",
+]

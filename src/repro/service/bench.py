@@ -1,0 +1,226 @@
+"""Serving-layer benchmark: cold-vs-warm plan cache, batched-vs-looped
+parameter binding.
+
+One measurement routine shared by ``repro bench-service`` (human
+output) and experiment E11 (``benchmarks/test_bench_e11_service.py``,
+which records the Markdown artifact), so the CLI and the recorded
+results can never disagree about methodology:
+
+* **cold vs warm** — for every translatable gallery entry, a fresh
+  :class:`~repro.service.QueryService` (safety memo tables cleared, so
+  the first request really pays the safety check and translation) is
+  timed on its first request, then on ``repeat`` warm requests; the
+  warm figure is the fastest repetition (the steady-state latency a
+  server converges to);
+* **batched vs looped** — one parameterized plan answering a batch of
+  K parameter tuples in a single evaluation, against K single-tuple
+  requests through the same warm cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.data.instance import Instance
+from repro.safety import clear_caches as clear_safety_caches
+from repro.service.service import QueryService, ServiceRequest
+
+__all__ = [
+    "ColdWarmMeasurement",
+    "BatchMeasurement",
+    "ServiceBench",
+    "run_service_bench",
+    "render_service_bench",
+    "service_bench_markdown",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ColdWarmMeasurement:
+    key: str
+    text: str
+    cold_ms: float
+    warm_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cold_ms / self.warm_ms if self.warm_ms else float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class BatchMeasurement:
+    batch: int
+    batched_ms: float
+    looped_ms: float
+    rows: int
+
+    @property
+    def speedup(self) -> float:
+        return self.looped_ms / self.batched_ms if self.batched_ms else float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceBench:
+    cold_warm: tuple[ColdWarmMeasurement, ...]
+    batches: tuple[BatchMeasurement, ...]
+
+    @property
+    def overall_cold_ms(self) -> float:
+        return sum(m.cold_ms for m in self.cold_warm)
+
+    @property
+    def overall_warm_ms(self) -> float:
+        return sum(m.warm_ms for m in self.cold_warm)
+
+    @property
+    def overall_speedup(self) -> float:
+        warm = self.overall_warm_ms
+        return self.overall_cold_ms / warm if warm else float("inf")
+
+
+def _parameterized_fixture(n_rows: int = 2000):
+    """An EMP(id, salary) instance plus a point-lookup body.
+
+    ``EMP(p, s)`` with parameter ``p`` compiles to a hash join of the
+    parameter relation against EMP, so a batch of K lookups is one
+    build + K probes, while K looped requests rescan EMP K times — the
+    asymmetry the batch path exists for.
+    """
+    rows = [(i, (i * 37 + 11) % 500) for i in range(n_rows)]
+    instance = Instance.of(EMP=rows)
+    body = "EMP(p, s)"
+    return instance, body
+
+
+def run_service_bench(repeat: int = 5,
+                      batch_sizes: tuple[int, ...] = (1, 8, 64),
+                      best_of: int = 3) -> ServiceBench:
+    """Measure both experiments; deterministic data, wall-clock timings."""
+    from repro.workloads.gallery import (
+        GALLERY,
+        gallery_instance,
+        standard_gallery_interp,
+    )
+
+    instance = gallery_instance()
+    interp = standard_gallery_interp()
+
+    cold_warm: list[ColdWarmMeasurement] = []
+    for key, entry in GALLERY.items():
+        if not entry.translatable:
+            continue
+        clear_safety_caches()
+        service = QueryService(instance, interpretation=interp)
+        t0 = time.perf_counter()
+        first = service.run(entry.text)
+        cold_ms = (time.perf_counter() - t0) * 1e3
+        assert first.ok and first.cache == "miss", (key, first.status)
+        warm_ms = float("inf")
+        for _ in range(max(1, repeat)):
+            t1 = time.perf_counter()
+            again = service.run(entry.text)
+            warm_ms = min(warm_ms, (time.perf_counter() - t1) * 1e3)
+            assert again.ok and again.cache == "hit", (key, again.status)
+            assert again.result == first.result, key
+        cold_warm.append(ColdWarmMeasurement(key, entry.text, cold_ms, warm_ms))
+
+    param_instance, body = _parameterized_fixture()
+    batches: list[BatchMeasurement] = []
+    for batch in batch_sizes:
+        values = [((i * 29) % 2000,) for i in range(batch)]
+        service = QueryService(param_instance)
+        # Prime the plan cache so both paths measure pure serving cost.
+        primed = service.run(ServiceRequest(
+            params=("p",), head=("s",), body=body, rows=(values[0],)))
+        assert primed.ok, primed.error
+
+        batched_ms = looped_ms = float("inf")
+        for _ in range(max(1, best_of)):
+            t0 = time.perf_counter()
+            batched = service.run(ServiceRequest(
+                params=("p",), head=("s",), body=body, rows=tuple(values)))
+            batched_ms = min(batched_ms, (time.perf_counter() - t0) * 1e3)
+            assert batched.ok, batched.error
+
+            t1 = time.perf_counter()
+            looped_rows: set[tuple] = set()
+            for value in values:
+                one = service.run(ServiceRequest(
+                    params=("p",), head=("s",), body=body, rows=(value,)))
+                assert one.ok, one.error
+                looped_rows |= one.result.rows
+            looped_ms = min(looped_ms, (time.perf_counter() - t1) * 1e3)
+            assert looped_rows == batched.result.rows, \
+                "batched and looped answers diverge"
+        batches.append(BatchMeasurement(batch, batched_ms, looped_ms,
+                                        len(batched.result)))
+
+    return ServiceBench(tuple(cold_warm), tuple(batches))
+
+
+def _cold_warm_rows(bench: ServiceBench) -> list[list[str]]:
+    rows = [[m.key, f"{m.cold_ms:.3f}", f"{m.warm_ms:.3f}",
+             f"{m.speedup:.1f}x"] for m in bench.cold_warm]
+    rows.append(["(gallery total)", f"{bench.overall_cold_ms:.3f}",
+                 f"{bench.overall_warm_ms:.3f}",
+                 f"{bench.overall_speedup:.1f}x"])
+    return rows
+
+
+def _batch_rows(bench: ServiceBench) -> list[list[str]]:
+    return [[str(m.batch), f"{m.batched_ms:.3f}", f"{m.looped_ms:.3f}",
+             f"{m.speedup:.1f}x", str(m.rows)] for m in bench.batches]
+
+
+def render_service_bench(bench: ServiceBench) -> str:
+    """Plain-text tables for ``repro bench-service``."""
+    lines = ["cold vs warm (plan cache), per gallery query:",
+             f"  {'query':>16}  {'cold ms':>9}  {'warm ms':>9}  speedup"]
+    for row in _cold_warm_rows(bench):
+        lines.append(f"  {row[0]:>16}  {row[1]:>9}  {row[2]:>9}  {row[3]}")
+    lines.append("")
+    lines.append("batched vs looped parameter binding:")
+    lines.append(f"  {'batch':>6}  {'batched ms':>11}  {'looped ms':>10}  "
+                 f"{'speedup':>8}  answer rows")
+    for row in _batch_rows(bench):
+        lines.append(f"  {row[0]:>6}  {row[1]:>11}  {row[2]:>10}  "
+                     f"{row[3]:>8}  {row[4]}")
+    return "\n".join(lines)
+
+
+def service_bench_markdown(bench: ServiceBench) -> str:
+    """The E11 artifact (``benchmarks/results/E11_service.md``)."""
+
+    def table(headers: list[str], rows: list[list[str]]) -> list[str]:
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells):
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+        return [fmt(headers), fmt(["-" * w for w in widths]),
+                *(fmt(row) for row in rows)]
+
+    lines = ["# E11 — the query service layer: plan caching and batching",
+             "",
+             "## Cold vs warm (plan cache) on the gallery",
+             "",
+             "Cold = first request on a fresh service (safety check +",
+             "translation + execution); warm = fastest of the repeat",
+             "requests (parse + cache hit + execution).",
+             ""]
+    lines += table(["query", "cold ms", "warm ms", "speedup"],
+                   _cold_warm_rows(bench))
+    lines += ["",
+              "## Batched vs looped parameter binding",
+              "",
+              "One parameterized plan, K parameter tuples: bound in one",
+              "batch (single plan evaluation) vs K single-tuple requests",
+              "through the same warm cache.",
+              ""]
+    lines += table(["batch", "batched ms", "looped ms", "speedup",
+                    "answer rows"], _batch_rows(bench))
+    return "\n".join(lines) + "\n"

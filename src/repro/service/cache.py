@@ -1,0 +1,123 @@
+"""A thread-safe LRU cache of translation results.
+
+The cache maps :class:`CacheKey` (normalized query text + schema
+fingerprint, see :mod:`repro.service.normalize`) to whatever one
+translation produced — a
+:class:`~repro.translate.pipeline.TranslationResult`, or a
+:class:`CachedRefusal` when the safety check rejected the query
+(negative caching: an unsafe query is refused once, then served its
+refusal from the cache like any other verdict).
+
+Counting discipline: :meth:`PlanCache.get` records exactly one hit or
+one miss per call, under the cache lock, so across any number of
+threads ``hits + misses`` equals the number of lookups — the invariant
+the concurrency stress test pins down.  The same counters are mirrored
+into a :class:`~repro.obs.metrics.MetricsRegistry` when one is
+attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+
+__all__ = ["CacheKey", "CachedRefusal", "PlanCache"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheKey:
+    """Identity of one compilation: environment digest + normal form."""
+
+    schema: str
+    text: str
+    params: tuple[str, ...] = ()
+    options: tuple = ()
+
+
+@dataclass(frozen=True, slots=True)
+class CachedRefusal:
+    """A negatively cached safety verdict: the query is not em-allowed."""
+
+    message: str
+
+
+class PlanCache:
+    """Bounded LRU mapping :class:`CacheKey` to translation outcomes."""
+
+    def __init__(self, capacity: int = 256,
+                 metrics: MetricsRegistry | None = None):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: CacheKey):
+        """The cached value (refreshing its recency), or ``None``.
+
+        Records one hit or one miss; a ``None`` return always means a
+        miss was counted, so callers pair each miss with one
+        :meth:`put`.
+        """
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                self.metrics.counter("plan_cache.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.metrics.counter("plan_cache.hits").inc()
+            return value
+
+    def put(self, key: CacheKey, value) -> None:
+        """Insert (or refresh) an entry, evicting the LRU on overflow."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self.metrics.counter("plan_cache.evictions").inc()
+            self.metrics.gauge("plan_cache.size").set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (counters are cumulative and survive)."""
+        with self._lock:
+            self._entries.clear()
+            self.metrics.gauge("plan_cache.size").set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[CacheKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        """Counters as one JSON-ready mapping."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

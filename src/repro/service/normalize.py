@@ -1,0 +1,153 @@
+"""Query normalization: canonical bound-variable names, stable
+rendering, and schema-fingerprinted cache keys.
+
+Two requests should share one cached plan whenever they denote the same
+query.  Textual identity is too strict — ``exists y (S(y))`` and
+``exists z (S(z))`` are the same query, as are two spellings that only
+differ in whitespace.  The normal form used as the cache key is:
+
+1. parse the text (whitespace and parenthesization disappear);
+2. rename every bound variable, outermost-first and left-to-right, to a
+   canonical name ``_b1, _b2, ...`` chosen to avoid the free variables
+   (:func:`canonicalize_bound`) — alpha-equivalent bodies now coincide
+   structurally;
+3. render with the stable printer (:func:`repro.core.printer.to_text`),
+   whose output is parser-compatible, so the key stays debuggable.
+
+The key is paired with a fingerprint of the schema (and annotation
+registry) the plan was compiled against: swapping either changes the
+fingerprint, so a schema change can never serve a stale plan or safety
+verdict out of the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import count
+
+from repro.core.formulas import (
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    free_variables,
+    substitute,
+)
+from repro.core.printer import to_text
+from repro.core.queries import CalculusQuery
+from repro.core.schema import DatabaseSchema
+from repro.core.terms import Term, Var
+
+__all__ = [
+    "canonicalize_bound",
+    "canonicalize_query",
+    "normalize_query_text",
+    "schema_fingerprint",
+    "plan_cache_key",
+]
+
+
+def canonicalize_bound(formula: Formula,
+                       free: frozenset[str] | set[str] | None = None) -> Formula:
+    """Rename every bound variable to a canonical ``_b<i>`` name.
+
+    Names are assigned outermost-first, left-to-right, so any two
+    alpha-equivalent formulas map to the same tree.  The prefix grows an
+    underscore until no free variable starts with it, so canonical names
+    can never capture a free occurrence.  Idempotent: a formula already
+    in canonical form comes back unchanged.
+    """
+    if free is None:
+        free = free_variables(formula)
+    prefix = "_b"
+    while any(name.startswith(prefix) for name in free):
+        prefix = "_" + prefix
+    counter = count(1)
+
+    def go(f: Formula) -> Formula:
+        if isinstance(f, Atom):
+            return f
+        if isinstance(f, Not):
+            return Not(go(f.child))
+        if isinstance(f, And):
+            return And(tuple(go(c) for c in f.children))
+        if isinstance(f, Or):
+            return Or(tuple(go(c) for c in f.children))
+        if isinstance(f, (Exists, Forall)):
+            mapping: dict[str, Term] = {}
+            new_vars = []
+            for v in f.vars:
+                new = f"{prefix}{next(counter)}"
+                if new != v:
+                    mapping[v] = Var(new)
+                new_vars.append(new)
+            body = substitute(f.body, mapping) if mapping else f.body
+            ctor = Exists if isinstance(f, Exists) else Forall
+            return ctor(tuple(new_vars), go(body))
+        raise TypeError(f"not a formula: {f!r}")
+
+    return go(formula)
+
+
+def canonicalize_query(query: CalculusQuery) -> CalculusQuery:
+    """The query with its bound variables in canonical form.
+
+    Free (head) variables are untouched — they are part of the query's
+    interface — so the result is the alpha-normal representative of the
+    query's equivalence class.
+    """
+    return CalculusQuery(query.head, canonicalize_bound(query.body))
+
+
+def normalize_query_text(query: CalculusQuery) -> str:
+    """The stable rendering of the canonical form — the textual part of
+    the cache key.  Parser-compatible, so
+    ``normalize_query_text(parse_query(s))`` is a fixpoint."""
+    return to_text(canonicalize_query(query))
+
+
+def schema_fingerprint(schema: DatabaseSchema | None,
+                       annotations=None) -> str:
+    """A short stable digest of the compilation environment.
+
+    Covers every relation and function declaration (name, arity,
+    totality) plus the annotation registry.  ``None`` schemas (per-query
+    inference) get their own fingerprint, distinct from every concrete
+    schema.
+    """
+    parts: list[str] = []
+    if schema is None:
+        parts.append("schema:inferred")
+    else:
+        for decl in sorted(schema.relations, key=lambda d: d.name):
+            parts.append(f"rel:{decl.name}/{decl.arity}")
+        for sig in sorted(schema.functions, key=lambda s: s.name):
+            parts.append(f"fn:{sig.name}/{sig.arity}:{'t' if sig.total else 'p'}")
+    if annotations is not None:
+        for ann in sorted(str(a) for a in annotations):
+            parts.append(f"ann:{ann}")
+    digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+    return digest[:16]
+
+
+def plan_cache_key(query: CalculusQuery,
+                   schema: DatabaseSchema | None = None,
+                   annotations=None,
+                   params: tuple[str, ...] = (),
+                   options: tuple = ()):
+    """The full cache key for a (possibly parameterized) query.
+
+    ``params`` distinguishes a parameterized compilation (columns led by
+    the parameter relation) from a plain one over the same body;
+    ``options`` carries any translation flags that change the plan.
+    """
+    from repro.service.cache import CacheKey
+    return CacheKey(
+        schema=schema_fingerprint(schema, annotations),
+        text=normalize_query_text(query),
+        params=tuple(params),
+        options=tuple(options),
+    )

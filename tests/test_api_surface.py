@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.obs",
     "repro.workloads",
     "repro.analysis",
+    "repro.service",
 ]
 
 MODULES = PACKAGES + [
@@ -44,6 +45,8 @@ MODULES = PACKAGES + [
     "repro.obs.explain", "repro.obs.export",
     "repro.analysis.diagnostics", "repro.analysis.linter",
     "repro.analysis.sanitizer",
+    "repro.service.normalize", "repro.service.cache",
+    "repro.service.service", "repro.service.bench",
     "repro.workloads.gallery", "repro.workloads.practical",
     "repro.workloads.families", "repro.workloads.random_queries",
     "repro.errors", "repro.cli",

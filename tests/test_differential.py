@@ -1,0 +1,179 @@
+"""Differential test harness: three independent implementations of the
+same semantics are swept against each other over a seeded random corpus
+and the paper gallery.
+
+For every corpus query the harness compares
+
+* the **reference calculus evaluator** (``evaluate_query`` — direct
+  active-domain enumeration, the semantic ground truth),
+* the **physical executor** running the translated algebra plan, and
+* the **query service**, both on a cold cache and on a warm cache
+  (so a caching bug that corrupts or cross-wires plans shows up as a
+  divergence, not a silent wrong answer).
+
+Any mismatch fails with the query text, the seed, and both result sets,
+so a failure is reproducible from the message alone:
+
+    PYTHONPATH=src python -m pytest "tests/test_differential.py" \\
+        -k "chunk0"
+
+The corpus size defaults to ``DEFAULT_SEEDS`` seeds and can be widened
+from the environment (as the CI differential job does)::
+
+    REPRO_DIFF_SEEDS=500 python -m pytest tests/test_differential.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.generators import random_instance, standard_functions
+from repro.engine.executor import execute
+from repro.errors import EvaluationError
+from repro.semantics.eval_calculus import evaluate_query, query_schema
+from repro.service import QueryService
+from repro.translate.pipeline import translate_query
+from repro.workloads.gallery import (
+    GALLERY,
+    gallery_instance,
+    standard_gallery_interp,
+)
+from repro.workloads.random_queries import random_em_allowed_query
+
+DEFAULT_SEEDS = 200
+CHUNK = 25
+
+N_ROWS = 4
+UNIVERSE = list(range(8))
+MODULUS = 11
+
+
+def _seed_count() -> int:
+    raw = os.environ.get("REPRO_DIFF_SEEDS", "")
+    if not raw:
+        return DEFAULT_SEEDS
+    try:
+        count = int(raw)
+    except ValueError as exc:
+        raise RuntimeError(
+            f"REPRO_DIFF_SEEDS must be an integer, got {raw!r}") from exc
+    return max(count, 1)
+
+
+def _chunks() -> list[range]:
+    count = _seed_count()
+    return [range(lo, min(lo + CHUNK, count))
+            for lo in range(0, count, CHUNK)]
+
+
+def _sorted_rows(relation) -> list:
+    return sorted(relation.rows, key=repr)
+
+
+def _mismatch(kind: str, seed: int, text: str, want, got) -> str:
+    return (f"{kind} mismatch\n"
+            f"  seed:      {seed}\n"
+            f"  query:     {text}\n"
+            f"  reference: {_sorted_rows(want)}\n"
+            f"  got:       {_sorted_rows(got)}")
+
+
+def _fixture(seed: int):
+    """Deterministic (query, schema, instance, interpretation) per seed."""
+    from repro.core.printer import to_text
+
+    query = random_em_allowed_query(seed)
+    schema = query_schema(query)
+    instance = random_instance(schema, N_ROWS, UNIVERSE, seed=seed)
+    interp = standard_functions(schema, modulus=MODULUS)
+    return query, to_text(query), schema, instance, interp
+
+
+@pytest.mark.parametrize(
+    "seeds", _chunks(),
+    ids=[f"chunk{i}" for i in range(len(_chunks()))])
+class TestRandomCorpusDifferential:
+    def test_executor_and_service_agree_with_reference(self, seeds):
+        skipped = 0
+        for seed in seeds:
+            query, text, schema, instance, interp = _fixture(seed)
+            try:
+                reference = evaluate_query(query, instance, interp)
+            except EvaluationError:
+                skipped += 1       # enumeration guard tripped; seed unusable
+                continue
+
+            # Leg 1: translated plan through the physical executor.
+            result = translate_query(query)
+            run = execute(result.plan, instance, interp,
+                          schema=result.schema)
+            assert run.result == reference, \
+                _mismatch("executor-vs-reference", seed, text,
+                          reference, run.result)
+
+            # Leg 2: the service, cold then warm, on the same data.
+            with QueryService(instance, interpretation=interp) as svc:
+                cold = svc.run(text)
+                warm = svc.run(text)
+            assert cold.ok, (seed, text, cold.error)
+            assert cold.cache == "miss" and warm.cache == "hit", (seed, text)
+            assert cold.result == reference, \
+                _mismatch("service-cold-vs-reference", seed, text,
+                          reference, cold.result)
+            assert warm.result == reference, \
+                _mismatch("service-warm-vs-reference", seed, text,
+                          reference, warm.result)
+        # A handful of generated queries can trip the enumeration guard;
+        # the sweep must still exercise nearly the whole chunk.
+        assert skipped <= len(seeds) // 4, \
+            f"too many skipped seeds in {seeds}: {skipped}"
+
+
+class TestGalleryDifferential:
+    @pytest.mark.parametrize(
+        "key", [k for k, e in GALLERY.items() if e.translatable])
+    def test_gallery_entry_agrees_across_engines(self, key):
+        entry = GALLERY[key]
+        instance = gallery_instance()
+        interp = standard_gallery_interp()
+        reference = evaluate_query(entry.query, instance, interp)
+
+        result = translate_query(entry.query)
+        run = execute(result.plan, instance, interp, schema=result.schema)
+        assert run.result == reference, \
+            _mismatch("executor-vs-reference", -1, entry.text,
+                      reference, run.result)
+
+        with QueryService(instance, interpretation=interp) as svc:
+            cold = svc.run(entry.text)
+            warm = svc.run(entry.text)
+        assert cold.result == reference, \
+            _mismatch("service-cold-vs-reference", -1, entry.text,
+                      reference, cold.result)
+        assert warm.cache == "hit"
+        assert warm.result == reference, \
+            _mismatch("service-warm-vs-reference", -1, entry.text,
+                      reference, warm.result)
+
+
+class TestHarnessSelfChecks:
+    """The harness itself must be deterministic and honest."""
+
+    def test_fixture_is_deterministic(self):
+        a = _fixture(17)
+        b = _fixture(17)
+        assert a[1] == b[1]
+        assert a[3] == b[3]
+
+    def test_corpus_has_the_advertised_size(self):
+        assert sum(len(c) for c in _chunks()) == _seed_count()
+        assert _seed_count() >= 1
+
+    def test_seed_override_is_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIFF_SEEDS", "banana")
+        with pytest.raises(RuntimeError):
+            _seed_count()
+        monkeypatch.setenv("REPRO_DIFF_SEEDS", "40")
+        assert _seed_count() == 40

@@ -307,3 +307,86 @@ class TestTranslatedPlansTypeCheck:
             res = translate_query(q)
             catalog = {d.name: d.arity for d in res.schema.relations}
             assert arity_of(res.plan, catalog) == q.arity, seed
+
+
+class TestCliServe:
+    @staticmethod
+    def _files(tmp_path, requests):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1], [2], [3]]},'
+                        ' "EMP": {"arity": 2, "rows": [[1, 10], [2, 20]]}}')
+        reqs = tmp_path / "requests.json"
+        reqs.write_text(json.dumps(requests))
+        return data, reqs
+
+    def test_serve_mixed_request_file(self, tmp_path, capsys):
+        data, reqs = self._files(tmp_path, [
+            {"query": "{ x | R(x) }"},
+            {"query": "{ x | R(x) }"},
+            {"params": ["p"], "head": ["s"], "body": "EMP(p, s)",
+             "rows": [[1], [2], [7]]},
+        ])
+        code = main(["serve", "--requests", str(reqs), "--data", str(data)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 3 requests" in out
+        assert "1 cache hits, 2 misses" in out
+        assert "[2] { s | EMP(p, s) } [params: p; 3 rows]" in out
+
+    def test_serve_refusal_exits_zero_error_exits_two(self, tmp_path, capsys):
+        data, reqs = self._files(tmp_path, [{"query": "{ x | ~R(x) }"}])
+        assert main(["serve", "--requests", str(reqs),
+                     "--data", str(data)]) == 0
+        assert "refused" in capsys.readouterr().out
+
+        data, reqs = self._files(tmp_path, [{"query": "{ x | R(x"}])
+        assert main(["serve", "--requests", str(reqs),
+                     "--data", str(data)]) == 2
+
+    def test_serve_json_export(self, tmp_path, capsys):
+        data, reqs = self._files(tmp_path, [{"query": "{ x | R(x) }"}])
+        out_path = tmp_path / "report.json"
+        code = main(["serve", "--requests", str(reqs), "--data", str(data),
+                     "--json", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["stats"]["requests"] == 1
+        assert payload["reports"][0]["status"] == "ok"
+        assert payload["reports"][0]["rows"] == [[1], [2], [3]]
+        assert "plan_cache.misses" in payload["metrics"]
+
+    def test_serve_limit_truncates_rows(self, tmp_path, capsys):
+        data, reqs = self._files(tmp_path, [{"query": "{ x | R(x) }"}])
+        code = main(["serve", "--requests", str(reqs), "--data", str(data),
+                     "--limit", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "... (3 rows total)" in out
+
+    def test_serve_missing_requests_file(self, tmp_path, capsys):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1]]}}')
+        code = main(["serve", "--requests", str(tmp_path / "nope.json"),
+                     "--data", str(data)])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "cannot read requests file" in err
+        assert "hint:" in err
+        assert "Traceback" not in err
+
+    def test_serve_malformed_requests_file(self, tmp_path, capsys):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1]]}}')
+        reqs = tmp_path / "requests.json"
+        reqs.write_text("{not json")
+        code = main(["serve", "--requests", str(reqs), "--data", str(data)])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "cannot parse requests file" in err
+
+    def test_bench_service_smoke(self, capsys):
+        code = main(["bench-service", "--repeat", "1", "--batch", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cold vs warm" in out
+        assert "batched vs looped" in out

@@ -1,0 +1,122 @@
+"""Concurrency stress tests: many threads against one QueryService.
+
+The invariants under contention:
+
+* no request raises out of the service (every outcome is a report);
+* answers are deterministic — every thread asking the same query gets
+  the same relation, equal to a fresh single-threaded run;
+* cache accounting balances: hits + misses == plan-cache lookups, and
+  the translation pipeline ran at most once per distinct plan.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.tracing import SpanTracer
+from repro.service import QueryService, ServiceRequest
+from repro.workloads.gallery import (
+    GALLERY,
+    gallery_instance,
+    standard_gallery_interp,
+)
+
+N_THREADS = 8
+ROUNDS = 6
+
+
+def _workload() -> list[str]:
+    texts = [entry.text for entry in GALLERY.values() if entry.translatable]
+    texts.append("{ x | ~R(x) }")          # a cached refusal in the mix
+    return texts
+
+
+class TestConcurrentService:
+    def test_hammering_one_service_is_deterministic(self):
+        texts = _workload()
+        tracer = SpanTracer()
+        svc = QueryService(gallery_instance(),
+                           interpretation=standard_gallery_interp(),
+                           max_workers=N_THREADS, tracer=tracer)
+
+        # Single-threaded ground truth from an independent service.
+        with QueryService(gallery_instance(),
+                          interpretation=standard_gallery_interp()) as ref:
+            expected = {t: ref.run(t) for t in texts}
+
+        reports = []
+        errors = []
+        lock = threading.Lock()
+
+        def worker(round_no: int):
+            try:
+                # Each round walks the workload in a rotated order so
+                # threads collide on different cache entries.
+                rotated = texts[round_no % len(texts):] + \
+                    texts[:round_no % len(texts)]
+                local = [svc.run(t) for t in rotated]
+                with lock:
+                    reports.extend(zip(rotated, local))
+            except BaseException as exc:  # noqa: BLE001 - the invariant
+                with lock:
+                    errors.append(exc)
+
+        try:
+            with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+                for i in range(N_THREADS * ROUNDS):
+                    pool.submit(worker, i)
+        finally:
+            svc.close()
+
+        assert not errors, errors
+        assert len(reports) == N_THREADS * ROUNDS * len(texts)
+        for text, report in reports:
+            want = expected[text]
+            assert report.status == want.status, text
+            assert report.result == want.result, text
+
+        # Accounting balances exactly: every request did one plan-cache
+        # lookup (the statement memo only short-circuits parsing).
+        stats = svc.stats()
+        lookups = stats["hits"] + stats["misses"]
+        assert lookups == len(reports)
+        # Translation ran once per distinct query, never more — no
+        # thundering-herd duplicate translations for this workload shape.
+        assert stats["misses"] <= len(texts) * N_THREADS
+        translate_spans = [s for s in tracer.walk() if s.name == "translate"]
+        assert len(translate_spans) == stats["misses"]
+
+    def test_run_many_under_contention(self):
+        texts = _workload()
+        requests = [ServiceRequest(query=t) for t in texts * N_THREADS]
+        with QueryService(gallery_instance(),
+                          interpretation=standard_gallery_interp(),
+                          max_workers=N_THREADS) as svc:
+            reports = svc.run_many(requests)
+            assert [r.query for r in reports] == [r.query for r in requests]
+            stats = svc.stats()
+        by_text = {}
+        for report in reports:
+            prev = by_text.setdefault(report.query, report)
+            assert report.status == prev.status
+            assert report.result == prev.result
+        assert stats["hits"] + stats["misses"] == \
+            len(requests)
+
+    def test_concurrent_parameterized_batches(self):
+        from repro.data.instance import Instance
+        rows = [(i, (i * 37 + 11) % 100) for i in range(200)]
+        with QueryService(Instance.of(EMP=rows),
+                          max_workers=N_THREADS) as svc:
+            requests = [
+                ServiceRequest(params=("p",), head=("s",), body="EMP(p, s)",
+                               rows=tuple((v,) for v in range(k, k + 5)))
+                for k in range(N_THREADS * 4)
+            ]
+            reports = svc.run_many(requests)
+        table = dict(rows)
+        for k, report in enumerate(reports):
+            assert report.ok, report.error
+            want = {(v, table[v]) for v in range(k, k + 5) if v in table}
+            assert report.result.rows == want, k

@@ -1,0 +1,122 @@
+"""Hypothesis properties for the service layer's query normalization.
+
+Two invariants carry the plan cache's correctness:
+
+* **idempotence** — canonicalizing an already-canonical query changes
+  nothing, so the cache key is a fixed point (renders stably through
+  parse/print round trips);
+* **alpha-invariance** — any two spellings of the same query (renamed
+  bound variables, reshuffled whitespace) produce the same cache key,
+  so they share one plan and return identical relations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.formulas import rename_bound
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.queries import CalculusQuery
+from repro.data.interpretation import Interpretation
+from repro.service import (
+    QueryService,
+    canonicalize_query,
+    normalize_query_text,
+    plan_cache_key,
+)
+from repro.workloads.families import family_instance
+from repro.workloads.random_queries import random_em_allowed_query
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _interp() -> Interpretation:
+    return Interpretation({
+        "f": lambda v: (_n(v) * 7 + 1) % 9,
+        "g": lambda v: (_n(v) * 3 + 2) % 9,
+        "h": lambda v: (_n(v) * 5 + 3) % 9,
+    })
+
+
+def _n(value) -> int:
+    return value if isinstance(value, int) else hash(str(value)) % 97
+
+
+def _alpha_variant(query: CalculusQuery, seed: int) -> CalculusQuery:
+    """The same query with every bound variable renamed to a fresh
+    ``zz<n>`` name (a spelling the canonical ``_b<n>`` scheme never
+    emits, so the variant genuinely differs from the original)."""
+    rng = random.Random(seed)
+    counter = [rng.randrange(100)]
+
+    def fresh(base: str) -> str:
+        counter[0] += 1
+        return f"zz{counter[0]}"
+
+    # rename_bound only renames binders that collide with ``taken``, so
+    # seed it with every identifier in the rendering to force a rename
+    # of every bound variable.
+    import re
+    taken = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", to_text(query)))
+    body = rename_bound(query.body, taken, fresh=fresh)
+    return CalculusQuery(query.head, body)
+
+
+def _respace(text: str, seed: int) -> str:
+    """Reshuffle insignificant whitespace: every single space becomes
+    one-to-three spaces, chosen pseudo-randomly."""
+    rng = random.Random(seed)
+    return "".join(c if c != " " else " " * rng.randint(1, 3)
+                   for c in text)
+
+
+@_SETTINGS
+@given(st.integers(0, 10_000))
+def test_canonicalization_is_idempotent(seed):
+    q = random_em_allowed_query(seed)
+    once = canonicalize_query(q)
+    twice = canonicalize_query(once)
+    assert once == twice
+    assert to_text(once) == to_text(twice)
+
+
+@_SETTINGS
+@given(st.integers(0, 10_000))
+def test_normal_text_survives_a_parse_round_trip(seed):
+    q = random_em_allowed_query(seed)
+    text = normalize_query_text(q)
+    assert normalize_query_text(parse_query(text)) == text
+
+
+@_SETTINGS
+@given(st.integers(0, 10_000), st.integers(0, 1_000))
+def test_alpha_equivalent_spellings_share_a_cache_key(seed, variant_seed):
+    q = random_em_allowed_query(seed)
+    variant = _alpha_variant(q, variant_seed)
+    spelling_a = to_text(q)
+    spelling_b = _respace(to_text(variant), variant_seed)
+    key_a = plan_cache_key(parse_query(spelling_a), None, None)
+    key_b = plan_cache_key(parse_query(spelling_b), None, None)
+    assert key_a == key_b, (spelling_a, spelling_b)
+
+
+@_SETTINGS
+@given(st.integers(0, 2_000), st.integers(0, 1_000), st.integers(0, 50))
+def test_alpha_equivalent_requests_share_one_plan_and_one_answer(
+        seed, variant_seed, data_seed):
+    q = random_em_allowed_query(seed)
+    spelling_a = to_text(q)
+    spelling_b = _respace(to_text(_alpha_variant(q, variant_seed)),
+                          variant_seed)
+    instance = family_instance(q, n_rows=4, universe_size=5, seed=data_seed)
+    with QueryService(instance, interpretation=_interp()) as svc:
+        first = svc.run(spelling_a)
+        second = svc.run(spelling_b)
+        assert first.ok and second.ok, (first.error, second.error)
+        assert second.cache == "hit", (spelling_a, spelling_b)
+        assert first.result == second.result
+        assert len(svc.cache) == 1
