@@ -1,0 +1,399 @@
+"""The pre-refactor tuple-at-a-time engine, kept as the E12 baseline.
+
+This module is a faithful copy of the row-at-a-time physical operators
+as they stood before the batch-protocol refactor: pull-based generators
+yielding one tuple per ``next()``, predicates/projections interpreted
+per row through :func:`repro.algebra.evaluator.eval_colexpr`, and a
+counter bump per emitted row.  E12
+(``benchmarks/test_bench_e12_vectorized.py``) runs the same translated
+gallery plans through this engine and through the live batch engine to
+measure the end-to-end speedup of the refactor.
+
+To guarantee both engines execute the *same plan shape*, the mini
+planner below reuses the live planner's join-algorithm and anti-join
+decisions (:func:`repro.engine.planner._split_join_conditions`,
+:func:`repro.engine.planner._match_anti_join`); only the operator
+implementations differ.
+
+Do not "fix" or optimize this module — its job is to stay what the
+engine used to be.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.algebra.ast import (
+    AdomK,
+    AlgebraExpr,
+    ColExpr,
+    Condition,
+    Diff,
+    Enumerate,
+    Join,
+    Lit,
+    Params,
+    Product,
+    Project,
+    Rel,
+    Select,
+    Union,
+    compare_values,
+)
+from repro.algebra.evaluator import eval_colexpr
+from repro.core.schema import DatabaseSchema
+from repro.data.domain import term_closure
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation, UNDEFINED
+from repro.data.relation import Relation
+from repro.engine.planner import _match_anti_join, _split_join_conditions
+from repro.errors import EvaluationError
+
+__all__ = ["execute_rowwise", "build_rowwise_plan", "RowCounters"]
+
+
+class RowCounters:
+    """The old OpCounters surface: one bump per emitted row."""
+
+    def __init__(self) -> None:
+        self.rows: dict[str, int] = {}
+
+    def bump(self, op_name: str, n: int = 1) -> None:
+        self.rows[op_name] = self.rows.get(op_name, 0) + n
+
+    def total_rows(self) -> int:
+        return sum(self.rows.values())
+
+
+class _Op:
+    arity: int
+    counters: RowCounters
+
+    def rows(self) -> Iterator[tuple]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _emit(self, name: str, iterator: Iterable[tuple]) -> Iterator[tuple]:
+        for row in iterator:
+            self.counters.bump(name)
+            yield row
+
+
+class _Scan(_Op):
+    def __init__(self, relation: Relation, counters: RowCounters):
+        self.relation = relation
+        self.arity = relation.arity
+        self.counters = counters
+
+    def rows(self) -> Iterator[tuple]:
+        return self._emit("scan", self.relation)
+
+
+class _Literal(_Op):
+    def __init__(self, arity: int, rows: frozenset, counters: RowCounters):
+        self.arity = arity
+        self._rows = rows
+        self.counters = counters
+
+    def rows(self) -> Iterator[tuple]:
+        return self._emit("literal", self._rows)
+
+
+class _Filter(_Op):
+    def __init__(self, conds: frozenset[Condition], child: _Op,
+                 interpretation: Interpretation):
+        self.conds = conds
+        self.child = child
+        self.arity = child.arity
+        self.counters = child.counters
+        self.interpretation = interpretation
+
+    def _passes(self, row: tuple) -> bool:
+        for cond in self.conds:
+            left = eval_colexpr(cond.left, row, self.interpretation)
+            right = eval_colexpr(cond.right, row, self.interpretation)
+            if not compare_values(cond.op, left, right):
+                return False
+        return True
+
+    def rows(self) -> Iterator[tuple]:
+        return self._emit(
+            "filter", (row for row in self.child.rows() if self._passes(row))
+        )
+
+
+class _Map(_Op):
+    def __init__(self, exprs: tuple[ColExpr, ...], child: _Op,
+                 interpretation: Interpretation):
+        self.exprs = exprs
+        self.child = child
+        self.arity = len(exprs)
+        self.counters = child.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+
+        def generate() -> Iterator[tuple]:
+            for row in self.child.rows():
+                out = tuple(
+                    eval_colexpr(e, row, self.interpretation) for e in self.exprs
+                )
+                if any(v is UNDEFINED for v in out):
+                    continue
+                if out not in seen:
+                    seen.add(out)
+                    yield out
+
+        return self._emit("map", generate())
+
+
+class _HashJoin(_Op):
+    def __init__(self, key_pairs: tuple[tuple[int, int], ...],
+                 residual: frozenset[Condition],
+                 left: _Op, right: _Op, interpretation: Interpretation):
+        self.key_pairs = key_pairs
+        self.residual = residual
+        self.left = left
+        self.right = right
+        self.arity = left.arity + right.arity
+        self.counters = left.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        for row in self.right.rows():
+            key = tuple(row[rc - 1] for (_lc, rc) in self.key_pairs)
+            table.setdefault(key, []).append(row)
+
+        def probe() -> Iterator[tuple]:
+            for lrow in self.left.rows():
+                key = tuple(lrow[lc - 1] for (lc, _rc) in self.key_pairs)
+                for rrow in table.get(key, ()):
+                    combined = lrow + rrow
+                    if self._residual_ok(combined):
+                        yield combined
+
+        return self._emit("hash-join", probe())
+
+    def _residual_ok(self, row: tuple) -> bool:
+        for cond in self.residual:
+            left = eval_colexpr(cond.left, row, self.interpretation)
+            right = eval_colexpr(cond.right, row, self.interpretation)
+            if not compare_values(cond.op, left, right):
+                return False
+        return True
+
+
+class _NestedLoopJoin(_Op):
+    def __init__(self, conds: frozenset[Condition],
+                 left: _Op, right: _Op, interpretation: Interpretation):
+        self.conds = conds
+        self.left = left
+        self.right = right
+        self.arity = left.arity + right.arity
+        self.counters = left.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        inner = list(self.right.rows())
+
+        def loop() -> Iterator[tuple]:
+            for lrow in self.left.rows():
+                for rrow in inner:
+                    combined = lrow + rrow
+                    ok = True
+                    for cond in self.conds:
+                        left = eval_colexpr(cond.left, combined,
+                                            self.interpretation)
+                        right = eval_colexpr(cond.right, combined,
+                                             self.interpretation)
+                        if not compare_values(cond.op, left, right):
+                            ok = False
+                            break
+                    if ok:
+                        yield combined
+
+        return self._emit("nl-join", loop())
+
+
+class _Enumerate(_Op):
+    def __init__(self, enumerator, inputs: tuple[ColExpr, ...],
+                 out_count: int, child: _Op,
+                 interpretation: Interpretation):
+        self.enumerator = enumerator
+        self.inputs = inputs
+        self.out_count = out_count
+        self.child = child
+        self.arity = child.arity + out_count
+        self.counters = child.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        def generate() -> Iterator[tuple]:
+            for row in self.child.rows():
+                values = [eval_colexpr(e, row, self.interpretation)
+                          for e in self.inputs]
+                if any(v is UNDEFINED for v in values):
+                    continue
+                for out in self.enumerator(*values):
+                    yield row + tuple(out)
+
+        return self._emit("enumerate", generate())
+
+
+class _AntiJoin(_Op):
+    def __init__(self, key_pairs: tuple[tuple[int, int], ...],
+                 residual: frozenset[Condition],
+                 left: _Op, right: _Op, interpretation: Interpretation):
+        self.key_pairs = key_pairs
+        self.residual = residual
+        self.left = left
+        self.right = right
+        self.arity = left.arity
+        self.counters = left.counters
+        self.interpretation = interpretation
+
+    def rows(self) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        materialized: list[tuple] = []
+        for row in self.right.rows():
+            materialized.append(row)
+            key = tuple(row[rc - 1] for (_lc, rc) in self.key_pairs)
+            table.setdefault(key, []).append(row)
+
+        def matches(lrow: tuple) -> bool:
+            if self.key_pairs:
+                key = tuple(lrow[lc - 1] for (lc, _rc) in self.key_pairs)
+                candidates = table.get(key, ())
+            else:
+                candidates = materialized
+            for rrow in candidates:
+                combined = lrow + rrow
+                ok = True
+                for cond in self.residual:
+                    left = eval_colexpr(cond.left, combined,
+                                        self.interpretation)
+                    right = eval_colexpr(cond.right, combined,
+                                         self.interpretation)
+                    if not compare_values(cond.op, left, right):
+                        ok = False
+                        break
+                if ok:
+                    return True
+            return False
+
+        return self._emit(
+            "anti-join",
+            (row for row in self.left.rows() if not matches(row)),
+        )
+
+
+class _Union(_Op):
+    def __init__(self, left: _Op, right: _Op):
+        self.left = left
+        self.right = right
+        self.arity = left.arity
+        self.counters = left.counters
+
+    def rows(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+
+        def generate() -> Iterator[tuple]:
+            for source in (self.left, self.right):
+                for row in source.rows():
+                    if row not in seen:
+                        seen.add(row)
+                        yield row
+
+        return self._emit("union", generate())
+
+
+class _Diff(_Op):
+    def __init__(self, left: _Op, right: _Op):
+        self.left = left
+        self.right = right
+        self.arity = left.arity
+        self.counters = left.counters
+
+    def rows(self) -> Iterator[tuple]:
+        exclude = set(self.right.rows())
+        seen: set[tuple] = set()
+
+        def generate() -> Iterator[tuple]:
+            for row in self.left.rows():
+                if row not in exclude and row not in seen:
+                    seen.add(row)
+                    yield row
+
+        return self._emit("diff", generate())
+
+
+class _Adom(_Op):
+    def __init__(self, values: frozenset, counters: RowCounters):
+        self.values = values
+        self.arity = 1
+        self.counters = counters
+
+    def rows(self) -> Iterator[tuple]:
+        return self._emit("adom", ((v,) for v in self.values))
+
+
+def build_rowwise_plan(expr: AlgebraExpr, instance: Instance,
+                       interpretation: Interpretation,
+                       schema: DatabaseSchema | None = None,
+                       counters: RowCounters | None = None) -> _Op:
+    """The old planner: identical plan-shape decisions, legacy operators."""
+    if counters is None:
+        counters = RowCounters()
+
+    def go(node: AlgebraExpr) -> _Op:
+        if isinstance(node, Rel):
+            return _Scan(instance.relation(node.name), counters)
+        if isinstance(node, Lit):
+            return _Literal(node.arity, node.rows, counters)
+        if isinstance(node, Params):
+            raise EvaluationError("plan contains an unbound parameter relation")
+        if isinstance(node, AdomK):
+            if schema is None:
+                raise EvaluationError("AdomK requires a schema")
+            base = set(instance.active_domain()) | set(node.extras)
+            closed = term_closure(base, node.level, interpretation, schema)
+            return _Adom(frozenset(closed), counters)
+        if isinstance(node, Project):
+            return _Map(node.exprs, go(node.child), interpretation)
+        if isinstance(node, Select):
+            return _Filter(node.conds, go(node.child), interpretation)
+        if isinstance(node, Enumerate):
+            return _Enumerate(interpretation.enumerator(node.enumerator),
+                              node.inputs, node.out_count, go(node.child),
+                              interpretation)
+        if isinstance(node, Join):
+            left, right = go(node.left), go(node.right)
+            pairs, residual = _split_join_conditions(node.conds, left.arity)
+            if pairs:
+                return _HashJoin(pairs, residual, left, right, interpretation)
+            return _NestedLoopJoin(node.conds, left, right, interpretation)
+        if isinstance(node, Product):
+            return _NestedLoopJoin(frozenset(), go(node.left), go(node.right),
+                                   interpretation)
+        if isinstance(node, Union):
+            return _Union(go(node.left), go(node.right))
+        if isinstance(node, Diff):
+            anti = _match_anti_join(node)
+            if anti is not None:
+                join_conds, left_expr, right_expr = anti
+                left, right = go(left_expr), go(right_expr)
+                pairs, residual = _split_join_conditions(join_conds, left.arity)
+                return _AntiJoin(pairs, residual, left, right, interpretation)
+            return _Diff(go(node.left), go(node.right))
+        raise TypeError(f"not an algebra expression: {node!r}")
+
+    return go(expr)
+
+
+def execute_rowwise(expr: AlgebraExpr, instance: Instance,
+                    interpretation: Interpretation,
+                    schema: DatabaseSchema | None = None) -> Relation:
+    """The old ``execute`` hot path: plan, then drain row by row."""
+    plan = build_rowwise_plan(expr, instance, interpretation, schema)
+    return Relation(plan.arity, set(plan.rows()))

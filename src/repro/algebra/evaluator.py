@@ -200,6 +200,10 @@ def evaluate(expr: AlgebraExpr, instance: Instance,
         op_stats.calls += 1
         op_stats.rows_out += len(rel)
         op_stats.elapsed_s += elapsed
+        # children are fully evaluated within this node's timing window,
+        # so their cumulative time is exactly this node's child share
+        op_stats.child_elapsed_s += sum(
+            profile.nodes[c].elapsed_s for c in children)
         frames[-1].append(op_stats.op_id)
         return rel
 

@@ -16,7 +16,9 @@ Commands:
   instance (see :mod:`repro.data.io`); scalar functions come from
   ``--functions mod.py`` (a Python file defining ``FUNCTIONS = {...}``)
   or default to a deterministic demo interpretation; ``--analyze``
-  appends the EXPLAIN ANALYZE operator tree;
+  appends the EXPLAIN ANALYZE operator tree; ``--batch-size N`` (also
+  on ``profile`` and ``bench-service``) sets the engine's rows-per-
+  batch, defaulting to the ``REPRO_BATCH_SIZE`` environment variable;
 * ``profile 'QUERY' --data FILE``  — instrumented run: translation phase
   spans, per-operator estimated-vs-actual rows and timings, q-error
   summary, optional ``--json out.json`` export;
@@ -193,7 +195,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     interp = _load_functions(args.functions, result.schema)
     profile = ExecutionProfile(query=args.query) if args.analyze else None
     report = execute(result.plan, instance, interp, schema=result.schema,
-                     profile=profile)
+                     profile=profile, batch_size=args.batch_size)
     print(f"plan:   {to_algebra_text(result.plan)}")
     print(f"stats:  {report.summary()}")
     for row in sorted(report.result.rows, key=repr)[:args.limit]:
@@ -222,7 +224,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     profile = ExecutionProfile(query=args.query)
     with metrics.time("execute"):
         report = execute(result.plan, instance, interp,
-                         schema=result.schema, profile=profile)
+                         schema=result.schema, profile=profile,
+                         batch_size=args.batch_size)
     metrics.gauge("plan.size").set(result.plan_size)
     metrics.counter("trace.steps").inc(len(result.trace))
     metrics.counter("operator.rows").inc(profile.total_rows())
@@ -319,7 +322,8 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     from repro.service.bench import render_service_bench, run_service_bench
 
     measurements = run_service_bench(repeat=args.repeat,
-                                     batch_sizes=tuple(args.batch))
+                                     batch_sizes=tuple(args.batch),
+                                     engine_batch_size=args.batch_size)
     print(render_service_bench(measurements))
     return 0
 
@@ -332,6 +336,13 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
         print(f"{key:>14}: {entry.text}")
         print(f"{'':>14}  {entry.description}")
     return 0
+
+
+def _add_batch_size(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="engine rows per batch (default: REPRO_BATCH_SIZE env "
+             "var, else 1024)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -376,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--analyze", action="store_true",
                      help="print the EXPLAIN ANALYZE operator tree "
                           "(estimated vs actual rows and timings)")
+    _add_batch_size(run)
     run.set_defaults(fn=_cmd_run)
 
     profile = sub.add_parser(
@@ -388,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Python file defining FUNCTIONS = {name: callable}")
     profile.add_argument("--json", metavar="OUT",
                          help="write the profile/span/metrics bundle as JSON")
+    _add_batch_size(profile)
     profile.set_defaults(fn=_cmd_profile)
 
     serve = sub.add_parser(
@@ -422,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_service.add_argument("--batch", type=int, nargs="+",
                                default=[1, 8, 64],
                                help="parameter batch sizes (default 1 8 64)")
+    _add_batch_size(bench_service)
     bench_service.set_defaults(fn=_cmd_bench_service)
 
     demo = sub.add_parser("demo", help="list the paper's query gallery")

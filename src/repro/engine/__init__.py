@@ -8,7 +8,12 @@ must return identical relations on every plan (tested).
 """
 
 from repro.engine.executor import RunReport, execute
-from repro.engine.operators import OpCounters, ProfiledOp
+from repro.engine.operators import (
+    DEFAULT_BATCH_SIZE,
+    OpCounters,
+    ProfiledOp,
+    default_batch_size,
+)
 from repro.engine.optimizer import choose_build_sides
 from repro.engine.planner import build_physical_plan
 from repro.engine.stats import (
@@ -21,6 +26,7 @@ from repro.engine.stats import (
 
 __all__ = [
     "execute", "RunReport", "OpCounters", "ProfiledOp",
+    "DEFAULT_BATCH_SIZE", "default_batch_size",
     "build_physical_plan",
     "collect_stats", "TableStats", "InstanceStats",
     "estimate_cardinality", "choose_build_sides", "ENUMERATE_FANOUT",

@@ -1,0 +1,167 @@
+"""One-time compilation of column expressions into per-row closures.
+
+The batch engine (:mod:`repro.engine.operators`) evaluates predicates
+and projections over whole batches at a time.  Paying the interpretive
+cost of :func:`repro.algebra.evaluator.eval_colexpr` — an
+``isinstance`` dispatch per AST node per row — inside those loops would
+forfeit most of the batching win, so each operator compiles its column
+expressions **once** at plan-build time into plain closures and then
+maps them over every batch.
+
+The compiled closures preserve the evaluator's semantics exactly:
+
+* column references raise :class:`~repro.errors.EvaluationError` when
+  out of range (the ``try/except IndexError`` costs nothing on the
+  success path);
+* function applications go through the interpretation's **counting
+  wrapper** (hoisted once per compiled node, so per-call counting still
+  works) and propagate :data:`~repro.data.interpretation.UNDEFINED`
+  without calling the host function;
+* conditions decide through :func:`repro.algebra.ast.compare_values`,
+  the single comparison semantics shared by every evaluator.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Callable, Hashable
+
+from repro.algebra.ast import CApp, CConst, Col, ColExpr, Condition, compare_values
+from repro.data.interpretation import Interpretation, UNDEFINED
+from repro.errors import EvaluationError
+
+__all__ = [
+    "compile_colexpr",
+    "compile_predicate",
+    "compile_projection",
+    "may_be_undefined",
+]
+
+#: A compiled column expression: row -> value.
+RowFn = Callable[[tuple], Hashable]
+
+
+def may_be_undefined(expr: ColExpr) -> bool:
+    """True iff evaluating ``expr`` can produce :data:`UNDEFINED`.
+
+    Only a function application can be undefined; rows flowing between
+    operators never contain UNDEFINED (every producer drops them), so a
+    pure column/constant expression is total and its consumers may skip
+    the per-row UNDEFINED scan entirely.
+    """
+    if isinstance(expr, CApp):
+        return True
+    if isinstance(expr, (Col, CConst)):
+        return False
+    raise TypeError(f"not a column expression: {expr!r}")
+
+
+def compile_colexpr(expr: ColExpr, interpretation: Interpretation) -> RowFn:
+    """Compile one column expression into a ``row -> value`` closure."""
+    if isinstance(expr, Col):
+        index = expr.index - 1
+
+        def col(row: tuple) -> Hashable:
+            try:
+                return row[index]
+            except IndexError:
+                raise EvaluationError(
+                    f"column @{index + 1} out of range for row of width "
+                    f"{len(row)}") from None
+
+        return col
+    if isinstance(expr, CConst):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, CApp):
+        fn = interpretation[expr.name]   # counting wrapper, hoisted once
+        arg_fns = tuple(compile_colexpr(a, interpretation) for a in expr.args)
+        if len(arg_fns) == 1:
+            arg0 = arg_fns[0]
+
+            def apply1(row: tuple) -> Hashable:
+                value = arg0(row)
+                if value is UNDEFINED:
+                    return UNDEFINED
+                return fn(value)
+
+            return apply1
+
+        def apply_n(row: tuple) -> Hashable:
+            args = [f(row) for f in arg_fns]
+            if any(a is UNDEFINED for a in args):
+                return UNDEFINED
+            return fn(*args)
+
+        return apply_n
+    raise TypeError(f"not a column expression: {expr!r}")
+
+
+def compile_predicate(conds: frozenset[Condition],
+                      interpretation: Interpretation
+                      ) -> Callable[[tuple], bool] | None:
+    """Compile a conjunction of conditions into one ``row -> bool``
+    closure, or ``None`` for the empty (always-true) conjunction."""
+    compiled = tuple(
+        (compile_colexpr(c.left, interpretation), c.op,
+         compile_colexpr(c.right, interpretation))
+        for c in sorted(conds, key=str)
+    )
+    if not compiled:
+        return None
+    if len(compiled) == 1:
+        left, op, right = compiled[0]
+        return lambda row: compare_values(op, left(row), right(row))
+
+    def passes(row: tuple) -> bool:
+        for left, op, right in compiled:
+            if not compare_values(op, left(row), right(row)):
+                return False
+        return True
+
+    return passes
+
+
+def compile_projection(exprs: tuple[ColExpr, ...],
+                       interpretation: Interpretation
+                       ) -> Callable[[tuple], tuple]:
+    """Compile an extended projection into one ``row -> tuple`` closure.
+
+    The caller remains responsible for dropping output tuples containing
+    :data:`UNDEFINED` (set semantics: no domain value equals an
+    undefined application).
+
+    The common all-column case (no function applications, no constants)
+    compiles down to :func:`operator.itemgetter` — one C-level call per
+    row instead of one Python closure per column per row.  This is the
+    hot path for plans that project attributes off a wide join."""
+    if exprs and all(isinstance(e, Col) for e in exprs):
+        indices = tuple(e.index - 1 for e in exprs)
+        if len(indices) == 1:
+            index = indices[0]
+
+            def project_one(row: tuple) -> tuple:
+                try:
+                    return (row[index],)
+                except IndexError:
+                    raise EvaluationError(
+                        f"column @{index + 1} out of range for row of "
+                        f"width {len(row)}") from None
+
+            return project_one
+        get = itemgetter(*indices)
+
+        def project_cols(row: tuple) -> tuple:
+            try:
+                return get(row)
+            except IndexError:
+                raise EvaluationError(
+                    f"column out of range for row of width {len(row)}"
+                ) from None
+
+        return project_cols
+    fns = tuple(compile_colexpr(e, interpretation) for e in exprs)
+    if len(fns) == 1:
+        fn0 = fns[0]
+        return lambda row: (fn0(row),)
+    return lambda row: tuple(fn(row) for fn in fns)

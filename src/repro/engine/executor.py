@@ -37,32 +37,39 @@ class RunReport:
             f"{name}={count}" for name, count in sorted(self.counters.rows.items())
         )
         return (f"{len(self.result)} result rows in {self.elapsed_seconds * 1e3:.2f} ms; "
-                f"intermediates: {per_op}; function calls: {self.function_calls}")
+                f"intermediates: {per_op} ({self.counters.batches} batches); "
+                f"function calls: {self.function_calls}")
 
 
 def execute(expr: AlgebraExpr, instance: Instance,
             interpretation: Interpretation,
             schema: DatabaseSchema | None = None,
-            profile: ExecutionProfile | None = None) -> RunReport:
+            profile: ExecutionProfile | None = None,
+            batch_size: int | None = None) -> RunReport:
     """Plan and run ``expr``, returning the result with measurements.
 
     Scalar-function applications are counted through the
     interpretation's own counters (reset at entry), so the report
-    reflects this execution only.
+    reflects this execution only.  ``batch_size`` is forwarded to the
+    planner (``None`` resolves ``REPRO_BATCH_SIZE``, else 1024); the
+    result is assembled batch-at-a-time from ``next_batch()``.
 
     With ``profile`` (an :class:`~repro.obs.profile.ExecutionProfile`),
     every physical operator additionally records per-node rows, calls,
-    and elapsed time, and the profile's ``estimated_rows`` are filled
-    from freshly collected instance statistics — the data behind
-    ``EXPLAIN ANALYZE`` (:mod:`repro.obs.explain`).  Without it the
-    execution path is untouched.
+    and elapsed time (total and self), and the profile's
+    ``estimated_rows`` are filled from freshly collected instance
+    statistics — the data behind ``EXPLAIN ANALYZE``
+    (:mod:`repro.obs.explain`).  Without it the execution path is
+    untouched.
     """
     interpretation.reset_counts()
     counters = OpCounters()
     plan = build_physical_plan(expr, instance, interpretation, schema,
-                               counters, profile)
+                               counters, profile, batch_size=batch_size)
     start = time.perf_counter()
-    rows = set(plan.rows())
+    rows: set[tuple] = set()
+    while (batch := plan.next_batch()) is not None:
+        rows.update(batch)
     elapsed = time.perf_counter() - start
     if profile is not None:
         from repro.engine.stats import collect_stats

@@ -3,34 +3,59 @@
 Section 9 of the paper discusses applying the translation in practical
 settings; the payoff of emitting [GT91]-style plans rather than
 active-domain plans is only visible on an executor with real join
-algorithms.  This module provides a small iterator-style physical
-operator set:
+algorithms.  This module provides a **vectorized (batch-at-a-time)**
+physical operator set:
 
 * :class:`ScanOp` — base relation scan;
 * :class:`FilterOp` — predicate filter (conditions over columns);
 * :class:`MapOp` — extended projection (applies scalar functions);
 * :class:`HashJoinOp` — equi-join on column pairs, builds on the right;
 * :class:`NestedLoopJoinOp` — theta-join fallback;
+* :class:`AntiJoinOp` — generalized difference (context kept once);
 * :class:`UnionOp`, :class:`DiffOp` — set operations with dedup;
 * :class:`AdomOp` — materializes the function-closed active domain
   (used only by baseline plans).
 
-Every operator counts the rows it produces in a shared
-:class:`OpCounters`, the measurement reported by experiment E6.
+**The batch protocol.**  Every operator is a pull-based producer of row
+*batches*: ``next_batch()`` returns the next non-empty ``list`` of
+output tuples, or ``None`` once exhausted.  Source operators chunk
+their input into batches of ``batch_size`` rows (default
+:data:`DEFAULT_BATCH_SIZE`, overridable via the ``REPRO_BATCH_SIZE``
+environment variable); streaming operators consume one child batch per
+output batch, so batch boundaries flow through the pipeline and output
+batches may be smaller (filters) or larger (joins) than ``batch_size``.
+Predicates and projections are compiled **once** per operator
+(:mod:`repro.engine.compile`) and applied as list comprehensions over
+each batch — no per-row generator frames, and the shared
+:class:`OpCounters` is bumped once per batch with ``len(batch)``
+instead of once per row.  Concatenating an operator's batches yields
+exactly the row stream the old tuple-at-a-time protocol produced
+(property-tested), so batch size can never change answers.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
+from itertools import islice
+from operator import itemgetter
 from typing import Iterable, Iterator
 
-from repro.algebra.ast import ColExpr, Condition, compare_values
-from repro.algebra.evaluator import eval_colexpr
+from repro.algebra.ast import ColExpr, Condition
 from repro.data.interpretation import Interpretation, UNDEFINED
 from repro.data.relation import Relation
+from repro.engine.compile import (
+    compile_colexpr,
+    compile_predicate,
+    compile_projection,
+    may_be_undefined,
+)
+from repro.errors import EvaluationError
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "default_batch_size",
     "OpCounters",
     "PhysicalOp",
     "ProfiledOp",
@@ -40,18 +65,63 @@ __all__ = [
     "MapOp",
     "HashJoinOp",
     "NestedLoopJoinOp",
+    "EnumerateOp",
+    "AntiJoinOp",
     "UnionOp",
     "DiffOp",
     "AdomOp",
 ]
 
+#: Rows per source batch when neither the caller nor the environment says
+#: otherwise.  Large enough to amortize per-batch overhead, small enough
+#: to keep intermediate batches cache-resident.
+DEFAULT_BATCH_SIZE = 1024
+
+
+def default_batch_size() -> int:
+    """The engine-wide batch size: ``REPRO_BATCH_SIZE`` when set (a
+    positive integer), else :data:`DEFAULT_BATCH_SIZE`."""
+    raw = os.environ.get("REPRO_BATCH_SIZE", "")
+    if not raw:
+        return DEFAULT_BATCH_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        raise EvaluationError(
+            f"REPRO_BATCH_SIZE must be a positive integer, got {raw!r}"
+        ) from None
+    if size < 1:
+        raise EvaluationError(
+            f"REPRO_BATCH_SIZE must be a positive integer, got {raw!r}")
+    return size
+
 
 @dataclass
 class OpCounters:
-    """Rows produced per operator class plus total comparisons."""
+    """Execution-wide counters shared by every operator of one plan.
+
+    ``rows`` holds rows produced per operator class (the E6 cost
+    measure) and ``batches`` the total number of batches those rows
+    arrived in.  ``comparisons`` has **one semantics across the join
+    family**: it counts the candidate row pairs an operator actually
+    examined against its join predicate —
+
+    * :class:`NestedLoopJoinOp` examines every (left, right) pair when
+      it has conditions; a pure product (no conditions) examines none;
+    * :class:`HashJoinOp` examines only the pairs sharing a hash-bucket
+      key (its candidates);
+    * :class:`AntiJoinOp` examines candidates up to and including the
+      first match (it short-circuits once the left row is disqualified).
+
+    So ``total_comparisons`` is comparable across join algorithms: it is
+    the predicate-evaluation work each one performed, which is exactly
+    what hashing is supposed to reduce.
+    """
 
     rows: dict[str, int] = field(default_factory=dict)
     function_calls: int = 0
+    batches: int = 0
+    comparisons: int = 0
 
     def bump(self, op_name: str, n: int = 1) -> None:
         self.rows[op_name] = self.rows.get(op_name, 0) + n
@@ -59,24 +129,65 @@ class OpCounters:
     def total_rows(self) -> int:
         return sum(self.rows.values())
 
+    @property
+    def total_comparisons(self) -> int:
+        """Candidate-pair predicate evaluations across all join operators."""
+        return self.comparisons
+
+
+def _key_fn(columns: tuple[int, ...]):
+    """Compiled key extractor over 1-based column indexes.
+
+    Single-column keys hash the bare value; wider keys hash the tuple —
+    consistently on both build and probe side (both go through here).
+    """
+    return itemgetter(*(c - 1 for c in columns))
+
 
 class PhysicalOp:
-    """Base class: a pull-based iterator of tuples.
+    """Base class: a pull-based producer of row batches.
 
-    ``rows()`` yields output tuples; ``arity`` is the output width.
-    Operators are single-use (create a fresh tree per execution).
+    ``next_batch()`` returns the next **non-empty** list of output
+    tuples, or ``None`` once the operator is exhausted; ``arity`` is the
+    output width.  Operators are single-use (create a fresh tree per
+    execution).  Subclasses implement :meth:`_batches`, a generator of
+    batches; ``rows()`` remains as a row-at-a-time view for callers that
+    want a flat stream.
     """
 
     arity: int
     counters: OpCounters
+    #: Rows per source batch; the planner overwrites this on every
+    #: operator it builds (resolving ``REPRO_BATCH_SIZE`` once per plan).
+    batch_size: int = DEFAULT_BATCH_SIZE
 
-    def rows(self) -> Iterator[tuple]:  # pragma: no cover - abstract
+    _batch_iter: Iterator[list[tuple]] | None = None
+
+    def next_batch(self) -> list[tuple] | None:
+        """The next non-empty batch of output rows, or ``None`` at end."""
+        iterator = self._batch_iter
+        if iterator is None:
+            iterator = self._batch_iter = self._batches()
+        return next(iterator, None)
+
+    def _batches(self) -> Iterator[list[tuple]]:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def _emit(self, name: str, iterator: Iterable[tuple]) -> Iterator[tuple]:
-        for row in iterator:
-            self.counters.bump(name)
-            yield row
+    def rows(self) -> Iterator[tuple]:
+        """Row-at-a-time view: the concatenation of ``next_batch()``."""
+        while (batch := self.next_batch()) is not None:
+            yield from batch
+
+    def _emit(self, name: str,
+              batches: Iterable[list[tuple]]) -> Iterator[list[tuple]]:
+        """Count and forward non-empty batches: one ``bump`` per batch."""
+        counters = self.counters
+        for batch in batches:
+            if not batch:
+                continue
+            counters.bump(name, len(batch))
+            counters.batches += 1
+            yield batch
 
 
 class ProfiledOp(PhysicalOp):
@@ -85,60 +196,72 @@ class ProfiledOp(PhysicalOp):
     Used only when the caller asked for an
     :class:`~repro.obs.profile.ExecutionProfile` — the unprofiled path
     never constructs these, so profiling is zero-overhead when off.
-    Each ``next()`` on the wrapped iterator is timed individually, so a
-    node's ``elapsed_s`` is the cumulative time spent producing its
-    rows (including its children, as in ``EXPLAIN ANALYZE``) but *not*
-    the time its consumer spends processing them.
+    Each ``next_batch()`` on the wrapped operator is timed individually
+    (per-batch, not per-row), so a node's ``elapsed_s`` is the
+    cumulative time spent producing its batches including its children,
+    as in ``EXPLAIN ANALYZE``.  The wrapper additionally snapshots its
+    children's elapsed time around each call and accumulates the delta
+    into ``child_elapsed_s``, so the profile can report per-node *self*
+    time (``elapsed_s - child_elapsed_s``) — the number that actually
+    localizes a slow operator.  ``calls`` counts ``next_batch()``
+    invocations, including the final exhausted one.
     """
 
-    def __init__(self, inner: PhysicalOp, stats):
+    def __init__(self, inner: PhysicalOp, stats, child_stats=()):
         self.inner = inner
         self.stats = stats  # an obs.profile.OperatorStats (duck-typed)
+        self._child_stats = tuple(child_stats)
         self.arity = inner.arity
         self.counters = inner.counters
+        self.batch_size = inner.batch_size
 
-    def rows(self) -> Iterator[tuple]:
-        self.stats.calls += 1
-        iterator = self.inner.rows()
-        perf_counter = time.perf_counter
-        while True:
-            start = perf_counter()
-            try:
-                row = next(iterator)
-            except StopIteration:
-                self.stats.elapsed_s += perf_counter() - start
-                return
-            self.stats.elapsed_s += perf_counter() - start
-            self.stats.rows_out += 1
-            yield row
+    def next_batch(self) -> list[tuple] | None:
+        stats = self.stats
+        children = self._child_stats
+        stats.calls += 1
+        child_before = sum(c.elapsed_s for c in children)
+        start = time.perf_counter()
+        batch = self.inner.next_batch()
+        stats.elapsed_s += time.perf_counter() - start
+        stats.child_elapsed_s += \
+            sum(c.elapsed_s for c in children) - child_before
+        if batch is not None:
+            stats.rows_out += len(batch)
+        return batch
 
 
 class ScanOp(PhysicalOp):
-    """Scan a stored relation."""
+    """Scan a stored relation in ``batch_size`` chunks."""
 
     def __init__(self, relation: Relation, counters: OpCounters):
         self.relation = relation
         self.arity = relation.arity
         self.counters = counters
 
-    def rows(self) -> Iterator[tuple]:
-        return self._emit("scan", self.relation)
+    def _batches(self) -> Iterator[list[tuple]]:
+        return self._emit("scan", _chunks(self.relation, self.batch_size))
 
 
 class LiteralOp(PhysicalOp):
-    """Yield a fixed set of rows."""
+    """Yield a fixed set of rows as one batch.
+
+    A literal is already materialized, so it is never re-chunked: the
+    service's batched parameter binding lands its bound tuples here and
+    they flow downstream as the single batch they arrived as.
+    """
 
     def __init__(self, arity: int, rows: frozenset, counters: OpCounters):
         self.arity = arity
         self._rows = rows
         self.counters = counters
 
-    def rows(self) -> Iterator[tuple]:
-        return self._emit("literal", self._rows)
+    def _batches(self) -> Iterator[list[tuple]]:
+        return self._emit("literal", iter((list(self._rows),)))
 
 
 class FilterOp(PhysicalOp):
-    """Filter by a conjunction of conditions."""
+    """Filter by a conjunction of conditions, compiled once and applied
+    as one list comprehension per child batch."""
 
     def __init__(self, conds: frozenset[Condition], child: PhysicalOp,
                  interpretation: Interpretation):
@@ -147,23 +270,31 @@ class FilterOp(PhysicalOp):
         self.arity = child.arity
         self.counters = child.counters
         self.interpretation = interpretation
+        self._passes = compile_predicate(conds, interpretation)
 
-    def _passes(self, row: tuple) -> bool:
-        for cond in self.conds:
-            left = eval_colexpr(cond.left, row, self.interpretation)
-            right = eval_colexpr(cond.right, row, self.interpretation)
-            if not compare_values(cond.op, left, right):
-                return False
-        return True
+    def _batches(self) -> Iterator[list[tuple]]:
+        child = self.child
+        passes = self._passes
 
-    def rows(self) -> Iterator[tuple]:
-        return self._emit(
-            "filter", (row for row in self.child.rows() if self._passes(row))
-        )
+        def generate() -> Iterator[list[tuple]]:
+            while (batch := child.next_batch()) is not None:
+                if passes is None:
+                    yield batch
+                else:
+                    yield [row for row in batch if passes(row)]
+
+        return self._emit("filter", generate())
 
 
 class MapOp(PhysicalOp):
-    """Extended projection with deduplication (set semantics)."""
+    """Extended projection with deduplication (set semantics).
+
+    The projection tuple-builder is compiled once; each child batch is
+    projected, UNDEFINED-bearing rows are dropped, and the seen-set
+    keeps first occurrences only.  A projection with no function
+    applications is total, so the per-row UNDEFINED scan is skipped
+    for it (this is the dominant cost on wide intermediates).
+    """
 
     def __init__(self, exprs: tuple[ColExpr, ...], child: PhysicalOp,
                  interpretation: Interpretation):
@@ -172,29 +303,45 @@ class MapOp(PhysicalOp):
         self.arity = len(exprs)
         self.counters = child.counters
         self.interpretation = interpretation
+        self._project = compile_projection(exprs, interpretation)
+        self._may_undef = any(may_be_undefined(e) for e in exprs)
 
-    def rows(self) -> Iterator[tuple]:
-        seen: set[tuple] = set()
+    def _batches(self) -> Iterator[list[tuple]]:
+        child = self.child
+        project = self._project
+        may_undef = self._may_undef
 
-        def generate() -> Iterator[tuple]:
-            for row in self.child.rows():
-                out = tuple(
-                    eval_colexpr(e, row, self.interpretation) for e in self.exprs
-                )
-                if any(v is UNDEFINED for v in out):
-                    continue
-                if out not in seen:
-                    seen.add(out)
-                    yield out
+        def generate() -> Iterator[list[tuple]]:
+            seen: set[tuple] = set()
+            add = seen.add
+            while (batch := child.next_batch()) is not None:
+                out: list[tuple] = []
+                append = out.append
+                if may_undef:
+                    for projected in map(project, batch):
+                        if projected in seen:
+                            continue
+                        if any(v is UNDEFINED for v in projected):
+                            continue
+                        add(projected)
+                        append(projected)
+                else:
+                    for projected in map(project, batch):
+                        if projected not in seen:
+                            add(projected)
+                            append(projected)
+                yield out
 
         return self._emit("map", generate())
 
 
 class HashJoinOp(PhysicalOp):
-    """Equi-join: builds a hash table on the right input.
+    """Equi-join: builds a hash table on the right input, then probes
+    one left batch at a time.
 
     ``key_pairs`` are (left column, right column) 1-based pairs; any
-    residual non-equi conditions are applied after the probe.
+    residual non-equi conditions are applied per candidate after the
+    probe.  Each bucket candidate examined counts one comparison.
     """
 
     def __init__(self, key_pairs: tuple[tuple[int, int], ...],
@@ -208,34 +355,49 @@ class HashJoinOp(PhysicalOp):
         self.arity = left.arity + right.arity
         self.counters = left.counters
         self.interpretation = interpretation
+        self._left_key = _key_fn(tuple(lc for (lc, _rc) in key_pairs))
+        self._right_key = _key_fn(tuple(rc for (_lc, rc) in key_pairs))
+        self._residual_ok = compile_predicate(residual, interpretation)
 
-    def rows(self) -> Iterator[tuple]:
-        table: dict[tuple, list[tuple]] = {}
-        for row in self.right.rows():
-            key = tuple(row[rc - 1] for (_lc, rc) in self.key_pairs)
-            table.setdefault(key, []).append(row)
+    def _batches(self) -> Iterator[list[tuple]]:
+        def generate() -> Iterator[list[tuple]]:
+            table: dict = {}
+            right_key = self._right_key
+            while (batch := self.right.next_batch()) is not None:
+                for row in batch:
+                    table.setdefault(right_key(row), []).append(row)
 
-        def probe() -> Iterator[tuple]:
-            for lrow in self.left.rows():
-                key = tuple(lrow[lc - 1] for (lc, _rc) in self.key_pairs)
-                for rrow in table.get(key, ()):
-                    combined = lrow + rrow
-                    if self._residual_ok(combined):
-                        yield combined
+            left = self.left
+            left_key = self._left_key
+            residual_ok = self._residual_ok
+            counters = self.counters
+            get = table.get
+            while (batch := left.next_batch()) is not None:
+                out: list[tuple] = []
+                extend = out.extend
+                for lrow in batch:
+                    candidates = get(left_key(lrow))
+                    if not candidates:
+                        continue
+                    counters.comparisons += len(candidates)
+                    if residual_ok is None:
+                        extend(lrow + rrow for rrow in candidates)
+                    else:
+                        extend(combined for rrow in candidates
+                               if residual_ok(combined := lrow + rrow))
+                yield out
 
-        return self._emit("hash-join", probe())
-
-    def _residual_ok(self, row: tuple) -> bool:
-        for cond in self.residual:
-            left = eval_colexpr(cond.left, row, self.interpretation)
-            right = eval_colexpr(cond.right, row, self.interpretation)
-            if not compare_values(cond.op, left, right):
-                return False
-        return True
+        return self._emit("hash-join", generate())
 
 
 class NestedLoopJoinOp(PhysicalOp):
-    """Theta-join fallback: materializes the right input once."""
+    """Theta-join fallback: materializes the right input once, then
+    crosses it with one left batch at a time.
+
+    With conditions, every (left, right) pair is examined (counted as a
+    comparison); without conditions this is a pure product and no
+    comparisons are counted.
+    """
 
     def __init__(self, conds: frozenset[Condition],
                  left: PhysicalOp, right: PhysicalOp,
@@ -246,25 +408,26 @@ class NestedLoopJoinOp(PhysicalOp):
         self.arity = left.arity + right.arity
         self.counters = left.counters
         self.interpretation = interpretation
+        self._passes = compile_predicate(conds, interpretation)
 
-    def rows(self) -> Iterator[tuple]:
-        inner = list(self.right.rows())
+    def _batches(self) -> Iterator[list[tuple]]:
+        def generate() -> Iterator[list[tuple]]:
+            inner: list[tuple] = []
+            while (batch := self.right.next_batch()) is not None:
+                inner.extend(batch)
 
-        def loop() -> Iterator[tuple]:
-            for lrow in self.left.rows():
-                for rrow in inner:
-                    combined = lrow + rrow
-                    ok = True
-                    for cond in self.conds:
-                        left = eval_colexpr(cond.left, combined, self.interpretation)
-                        right = eval_colexpr(cond.right, combined, self.interpretation)
-                        if not compare_values(cond.op, left, right):
-                            ok = False
-                            break
-                    if ok:
-                        yield combined
+            left = self.left
+            passes = self._passes
+            counters = self.counters
+            while (batch := left.next_batch()) is not None:
+                if passes is None:
+                    yield [lrow + rrow for lrow in batch for rrow in inner]
+                else:
+                    counters.comparisons += len(batch) * len(inner)
+                    yield [combined for lrow in batch for rrow in inner
+                           if passes(combined := lrow + rrow)]
 
-        return self._emit("nl-join", loop())
+        return self._emit("nl-join", generate())
 
 
 class EnumerateOp(PhysicalOp):
@@ -281,16 +444,24 @@ class EnumerateOp(PhysicalOp):
         self.arity = child.arity + out_count
         self.counters = child.counters
         self.interpretation = interpretation
+        self._input_fns = tuple(
+            compile_colexpr(e, interpretation) for e in inputs)
 
-    def rows(self) -> Iterator[tuple]:
-        def generate() -> Iterator[tuple]:
-            for row in self.child.rows():
-                values = [eval_colexpr(e, row, self.interpretation)
-                          for e in self.inputs]
-                if any(v is UNDEFINED for v in values):
-                    continue
-                for out in self.enumerator(*values):
-                    yield row + tuple(out)
+    def _batches(self) -> Iterator[list[tuple]]:
+        child = self.child
+        input_fns = self._input_fns
+        enumerator = self.enumerator
+
+        def generate() -> Iterator[list[tuple]]:
+            while (batch := child.next_batch()) is not None:
+                out: list[tuple] = []
+                for row in batch:
+                    values = [fn(row) for fn in input_fns]
+                    if any(v is UNDEFINED for v in values):
+                        continue
+                    out.extend(row + tuple(derived)
+                               for derived in enumerator(*values))
+                yield out
 
         return self._emit("enumerate", generate())
 
@@ -302,7 +473,9 @@ class AntiJoinOp(PhysicalOp):
     ``ctx - project(join(ctx, X))``, which evaluates ``ctx`` twice; the
     planner recognizes the pattern and runs this operator instead,
     evaluating ``ctx`` once.  Equi-conditions build a hash table on the
-    right; residual conditions are checked per candidate.
+    right; residual conditions are checked per candidate, short-
+    circuiting at the first match (each candidate examined counts one
+    comparison).
     """
 
     def __init__(self, key_pairs: tuple[tuple[int, int], ...],
@@ -316,42 +489,58 @@ class AntiJoinOp(PhysicalOp):
         self.arity = left.arity
         self.counters = left.counters
         self.interpretation = interpretation
+        if key_pairs:
+            self._left_key = _key_fn(tuple(lc for (lc, _rc) in key_pairs))
+            self._right_key = _key_fn(tuple(rc for (_lc, rc) in key_pairs))
+        else:
+            self._left_key = self._right_key = None
+        self._residual_ok = compile_predicate(residual, interpretation)
 
-    def rows(self) -> Iterator[tuple]:
-        table: dict[tuple, list[tuple]] = {}
-        materialized: list[tuple] = []
-        for row in self.right.rows():
-            materialized.append(row)
-            key = tuple(row[rc - 1] for (_lc, rc) in self.key_pairs)
-            table.setdefault(key, []).append(row)
+    def _batches(self) -> Iterator[list[tuple]]:
+        def generate() -> Iterator[list[tuple]]:
+            table: dict = {}
+            materialized: list[tuple] = []
+            right_key = self._right_key
+            while (batch := self.right.next_batch()) is not None:
+                if right_key is None:
+                    materialized.extend(batch)
+                else:
+                    for row in batch:
+                        materialized.append(row)
+                        table.setdefault(right_key(row), []).append(row)
 
-        def matches(lrow: tuple) -> bool:
-            if self.key_pairs:
-                key = tuple(lrow[lc - 1] for (lc, _rc) in self.key_pairs)
-                candidates = table.get(key, ())
-            else:
-                candidates = materialized
-            for rrow in candidates:
-                combined = lrow + rrow
-                ok = True
-                for cond in self.residual:
-                    left = eval_colexpr(cond.left, combined, self.interpretation)
-                    right = eval_colexpr(cond.right, combined, self.interpretation)
-                    if not compare_values(cond.op, left, right):
-                        ok = False
-                        break
-                if ok:
-                    return True
-            return False
+            left = self.left
+            left_key = self._left_key
+            residual_ok = self._residual_ok
+            counters = self.counters
+            get = table.get
+            empty: tuple = ()
 
-        return self._emit(
-            "anti-join",
-            (row for row in self.left.rows() if not matches(row)),
-        )
+            def matches(lrow: tuple) -> bool:
+                if left_key is not None:
+                    candidates = get(left_key(lrow), empty)
+                else:
+                    candidates = materialized
+                if residual_ok is None:
+                    if candidates:
+                        counters.comparisons += 1
+                        return True
+                    return False
+                for rrow in candidates:
+                    counters.comparisons += 1
+                    if residual_ok(lrow + rrow):
+                        return True
+                return False
+
+            while (batch := left.next_batch()) is not None:
+                yield [row for row in batch if not matches(row)]
+
+        return self._emit("anti-join", generate())
 
 
 class UnionOp(PhysicalOp):
-    """Deduplicating union."""
+    """Deduplicating union: left batches then right batches, each
+    filtered through one shared seen-set."""
 
     def __init__(self, left: PhysicalOp, right: PhysicalOp):
         self.left = left
@@ -359,21 +548,25 @@ class UnionOp(PhysicalOp):
         self.arity = left.arity
         self.counters = left.counters
 
-    def rows(self) -> Iterator[tuple]:
-        seen: set[tuple] = set()
-
-        def generate() -> Iterator[tuple]:
+    def _batches(self) -> Iterator[list[tuple]]:
+        def generate() -> Iterator[list[tuple]]:
+            seen: set[tuple] = set()
+            add = seen.add
             for source in (self.left, self.right):
-                for row in source.rows():
-                    if row not in seen:
-                        seen.add(row)
-                        yield row
+                while (batch := source.next_batch()) is not None:
+                    out: list[tuple] = []
+                    for row in batch:
+                        if row not in seen:
+                            add(row)
+                            out.append(row)
+                    yield out
 
         return self._emit("union", generate())
 
 
 class DiffOp(PhysicalOp):
-    """Set difference: materializes the right side."""
+    """Set difference: materializes the right side, then filters left
+    batches against it (deduplicating)."""
 
     def __init__(self, left: PhysicalOp, right: PhysicalOp):
         self.left = left
@@ -381,15 +574,20 @@ class DiffOp(PhysicalOp):
         self.arity = left.arity
         self.counters = left.counters
 
-    def rows(self) -> Iterator[tuple]:
-        exclude = set(self.right.rows())
-        seen: set[tuple] = set()
-
-        def generate() -> Iterator[tuple]:
-            for row in self.left.rows():
-                if row not in exclude and row not in seen:
-                    seen.add(row)
-                    yield row
+    def _batches(self) -> Iterator[list[tuple]]:
+        def generate() -> Iterator[list[tuple]]:
+            exclude: set[tuple] = set()
+            while (batch := self.right.next_batch()) is not None:
+                exclude.update(batch)
+            seen: set[tuple] = set()
+            add = seen.add
+            while (batch := self.left.next_batch()) is not None:
+                out: list[tuple] = []
+                for row in batch:
+                    if row not in exclude and row not in seen:
+                        add(row)
+                        out.append(row)
+                yield out
 
         return self._emit("diff", generate())
 
@@ -402,5 +600,13 @@ class AdomOp(PhysicalOp):
         self.arity = 1
         self.counters = counters
 
-    def rows(self) -> Iterator[tuple]:
-        return self._emit("adom", ((v,) for v in self.values))
+    def _batches(self) -> Iterator[list[tuple]]:
+        return self._emit(
+            "adom", _chunks(((v,) for v in self.values), self.batch_size))
+
+
+def _chunks(rows: Iterable[tuple], size: int) -> Iterator[list[tuple]]:
+    """Split a row iterable into ``size``-row batches."""
+    iterator = iter(rows)
+    while batch := list(islice(iterator, size)):
+        yield batch

@@ -51,6 +51,7 @@ from repro.engine.operators import (
     ScanOp,
     UnionOp,
 )
+from repro.engine.operators import default_batch_size
 from repro.errors import EvaluationError
 from repro.obs.profile import ExecutionProfile, algebra_label
 
@@ -100,27 +101,41 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
                         interpretation: Interpretation,
                         schema: DatabaseSchema | None = None,
                         counters: OpCounters | None = None,
-                        profile: ExecutionProfile | None = None) -> PhysicalOp:
+                        profile: ExecutionProfile | None = None,
+                        batch_size: int | None = None) -> PhysicalOp:
     """Compile an algebra expression into an executable operator tree.
+
+    ``batch_size`` sets the rows-per-batch of every source operator in
+    the tree; ``None`` resolves :func:`default_batch_size` once per plan
+    (the ``REPRO_BATCH_SIZE`` environment variable, else 1024).
 
     With ``profile`` set, every operator is wrapped in a
     :class:`~repro.engine.operators.ProfiledOp` recording rows, calls,
-    and elapsed time per node into the profile; without it, the tree is
-    built exactly as before (no wrappers, no overhead).
+    and elapsed time per node into the profile — including its
+    children's elapsed time separately, so ``EXPLAIN ANALYZE`` can show
+    per-node self time; without it, the tree is built exactly as before
+    (no wrappers, no overhead).
     """
     if counters is None:
         counters = OpCounters()
+    resolved_batch_size = (default_batch_size() if batch_size is None
+                           else batch_size)
+    if resolved_batch_size < 1:
+        raise EvaluationError(
+            f"batch_size must be a positive integer, got {resolved_batch_size}")
 
     def wrap(op: PhysicalOp, label: str, node: AlgebraExpr,
              *children: PhysicalOp) -> PhysicalOp:
+        op.batch_size = resolved_batch_size
         if profile is None:
             return op
-        child_ids = tuple(c.stats.op_id for c in children
-                          if isinstance(c, ProfiledOp))
+        child_stats = tuple(c.stats for c in children
+                            if isinstance(c, ProfiledOp))
+        child_ids = tuple(s.op_id for s in child_stats)
         _logical, detail = algebra_label(node)
         stats = profile.register(label, detail, algebra_node=node,
                                  children=child_ids)
-        return ProfiledOp(op, stats)
+        return ProfiledOp(op, stats, child_stats)
 
     def go(node: AlgebraExpr) -> PhysicalOp:
         if isinstance(node, Rel):

@@ -4,8 +4,10 @@ Given a filled :class:`~repro.obs.profile.ExecutionProfile`,
 :func:`render_explain_analyze` prints the operator tree with each
 node's *estimated* cardinality (from
 :func:`repro.engine.stats.estimate_cardinality`) next to the *actual*
-rows produced, the invocation count, and the cumulative elapsed time —
-the shape of PostgreSQL's ``EXPLAIN ANALYZE``.
+rows produced, the invocation count, the cumulative elapsed time, and
+the node's **self** time (cumulative minus the children's share — the
+number that localizes a slow operator) — the shape of PostgreSQL's
+``EXPLAIN ANALYZE``.
 :func:`q_error_summary` aggregates estimation quality per operator
 class.
 """
@@ -33,7 +35,8 @@ def _node_line(stats: OperatorStats) -> str:
     return (f"{stats.label}{detail}  "
             f"(est={est} rows) "
             f"(actual rows={stats.rows_out} calls={stats.calls} "
-            f"time={stats.elapsed_s * 1e3:.3f} ms{q_text})")
+            f"time={stats.elapsed_s * 1e3:.3f} ms "
+            f"self={stats.self_elapsed_s * 1e3:.3f} ms{q_text})")
 
 
 def render_explain_analyze(profile: ExecutionProfile) -> str:
@@ -69,7 +72,8 @@ def q_error_summary(profile: ExecutionProfile) -> str:
     by_class = profile.by_class()
     if not by_class:
         return "(empty profile)"
-    headers = ["operator", "nodes", "rows_out", "calls", "time_ms", "max q-err"]
+    headers = ["operator", "nodes", "rows_out", "calls", "time_ms",
+               "self_ms", "max q-err"]
     rows: list[list[str]] = []
     for label in sorted(by_class):
         agg = by_class[label]
@@ -80,6 +84,7 @@ def q_error_summary(profile: ExecutionProfile) -> str:
             str(agg["rows_out"]),
             str(agg["calls"]),
             f"{agg['elapsed_s'] * 1e3:.3f}",
+            f"{agg['self_elapsed_s'] * 1e3:.3f}",
             f"{qe:.2f}" if qe is not None else "-",
         ])
     widths = [len(h) for h in headers]

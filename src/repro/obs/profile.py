@@ -87,9 +87,16 @@ class OperatorStats:
     detail: str                   # short one-line specifics
     children: tuple[int, ...] = ()
     rows_out: int = 0
-    calls: int = 0
+    calls: int = 0                # next_batch() invocations (incl. final None)
     elapsed_s: float = 0.0        # cumulative: includes time in children
+    child_elapsed_s: float = 0.0  # portion of elapsed_s spent inside children
     estimated_rows: float | None = None
+
+    @property
+    def self_elapsed_s(self) -> float:
+        """Time attributable to this node alone (``elapsed_s`` minus the
+        children's share, clamped at zero against timer jitter)."""
+        return max(0.0, self.elapsed_s - self.child_elapsed_s)
 
     @property
     def q_error(self) -> float | None:
@@ -154,12 +161,13 @@ class ExecutionProfile:
         for stats in self.nodes.values():
             agg = out.setdefault(stats.label, {
                 "nodes": 0, "rows_out": 0, "calls": 0,
-                "elapsed_s": 0.0, "max_q_error": None,
+                "elapsed_s": 0.0, "self_elapsed_s": 0.0, "max_q_error": None,
             })
             agg["nodes"] += 1
             agg["rows_out"] += stats.rows_out
             agg["calls"] += stats.calls
             agg["elapsed_s"] += stats.elapsed_s
+            agg["self_elapsed_s"] += stats.self_elapsed_s
             qe = stats.q_error
             if qe is not None:
                 prev = agg["max_q_error"]
@@ -179,6 +187,8 @@ class ExecutionProfile:
                 "rows_in": self.rows_in(stats.op_id),
                 "calls": stats.calls,
                 "elapsed_s": stats.elapsed_s,
+                "child_elapsed_s": stats.child_elapsed_s,
+                "self_elapsed_s": stats.self_elapsed_s,
                 "estimated_rows": stats.estimated_rows,
                 "q_error": stats.q_error,
             })

@@ -203,12 +203,18 @@ class QueryService:
                  max_workers: int = 4,
                  default_timeout_s: float | None = None,
                  metrics: MetricsRegistry | None = None,
-                 tracer: SpanTracer | None = None):
+                 tracer: SpanTracer | None = None,
+                 batch_size: int | None = None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cache = PlanCache(cache_size, metrics=self.metrics)
         self.max_workers = max_workers
         self.default_timeout_s = default_timeout_s
+        # Engine rows-per-batch for every execution this service runs;
+        # None defers to REPRO_BATCH_SIZE / the engine default.  A bound
+        # parameter batch is never re-chunked regardless: it enters the
+        # plan as a literal, which the engine emits as one batch.
+        self.batch_size = batch_size
         self._instance = instance
         self._interpretation = interpretation
         self._schema = schema
@@ -491,7 +497,8 @@ class QueryService:
         try:
             with tracer.span("execute") as span:
                 interp = self._current_interp(outcome.schema)
-                run = execute(plan, instance, interp, schema=outcome.schema)
+                run = execute(plan, instance, interp, schema=outcome.schema,
+                              batch_size=self.batch_size)
                 if tracer.enabled:
                     span.attrs["rows"] = len(run.result)
         except ReproError as err:

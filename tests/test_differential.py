@@ -158,6 +158,77 @@ class TestGalleryDifferential:
                       reference, warm.result)
 
 
+#: Engine rows-per-batch values the invariance sweep proves equivalent:
+#: degenerate single-row batches, a prime that never divides anything
+#: evenly, a mid-size, and the default.
+BATCH_SIZES = (1, 7, 64, 1024)
+
+#: Random-corpus seeds for the batch sweep — a fixed slice, since the
+#: full corpus already runs (at the default batch size) in the classes
+#: above and each sweep seed costs len(BATCH_SIZES) executions.
+SWEEP_SEEDS = range(0, 50, 2)
+
+
+class TestBatchSizeInvariance:
+    """Batch size must never change answers: every plan, at every
+    engine batch size, returns exactly the reference evaluator's
+    relation — through the bare executor and through the service."""
+
+    @pytest.mark.parametrize(
+        "key", [k for k, e in GALLERY.items() if e.translatable])
+    def test_gallery_is_batch_size_invariant(self, key):
+        entry = GALLERY[key]
+        instance = gallery_instance()
+        interp = standard_gallery_interp()
+        reference = evaluate_query(entry.query, instance, interp)
+        result = translate_query(entry.query)
+        for batch_size in BATCH_SIZES:
+            run = execute(result.plan, instance, interp,
+                          schema=result.schema, batch_size=batch_size)
+            assert run.result == reference, \
+                _mismatch(f"executor@batch={batch_size}-vs-reference",
+                          -1, entry.text, reference, run.result)
+            with QueryService(instance, interpretation=interp,
+                              batch_size=batch_size) as svc:
+                report = svc.run(entry.text)
+            assert report.ok, (key, batch_size, report.error)
+            assert report.result == reference, \
+                _mismatch(f"service@batch={batch_size}-vs-reference",
+                          -1, entry.text, reference, report.result)
+
+    def test_random_corpus_is_batch_size_invariant(self):
+        skipped = 0
+        for seed in SWEEP_SEEDS:
+            query, text, schema, instance, interp = _fixture(seed)
+            try:
+                reference = evaluate_query(query, instance, interp)
+            except EvaluationError:
+                skipped += 1
+                continue
+            result = translate_query(query)
+            for batch_size in BATCH_SIZES:
+                run = execute(result.plan, instance, interp,
+                              schema=result.schema, batch_size=batch_size)
+                assert run.result == reference, \
+                    _mismatch(f"executor@batch={batch_size}-vs-reference",
+                              seed, text, reference, run.result)
+        assert skipped <= len(SWEEP_SEEDS) // 4, \
+            f"too many skipped sweep seeds: {skipped}"
+
+    def test_env_batch_size_reaches_the_engine(self, monkeypatch):
+        """REPRO_BATCH_SIZE is the default the sweep's CI leg relies on."""
+        from repro.engine.operators import default_batch_size
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "7")
+        assert default_batch_size() == 7
+        entry = GALLERY["q1"]
+        instance = gallery_instance()
+        interp = standard_gallery_interp()
+        reference = evaluate_query(entry.query, instance, interp)
+        result = translate_query(entry.query)
+        run = execute(result.plan, instance, interp, schema=result.schema)
+        assert run.result == reference
+
+
 class TestHarnessSelfChecks:
     """The harness itself must be deterministic and honest."""
 

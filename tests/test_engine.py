@@ -130,6 +130,159 @@ class TestCounters:
         assert first.counters.rows == second.counters.rows
 
 
+class TestBatchProtocol:
+    """The batch protocol's contract: non-empty batches or None, batch
+    size respected at sources, literals never re-chunked, counters
+    bumped per batch."""
+
+    def test_next_batch_returns_non_empty_then_none(self, inst, interp):
+        op = build_physical_plan(Rel("R"), inst, interp, batch_size=2)
+        first = op.next_batch()
+        second = op.next_batch()
+        assert first is not None and len(first) == 2
+        assert second is not None and len(second) == 1
+        assert op.next_batch() is None
+        assert op.next_batch() is None   # exhausted stays exhausted
+
+    def test_scan_respects_batch_size(self, inst, interp):
+        op = build_physical_plan(Rel("R"), inst, interp, batch_size=1)
+        sizes = []
+        while (batch := op.next_batch()) is not None:
+            sizes.append(len(batch))
+        assert sizes == [1, 1, 1]
+
+    def test_literal_is_one_batch_regardless_of_batch_size(self, inst, interp):
+        rows = frozenset({(i,) for i in range(10)})
+        op = build_physical_plan(Lit(1, rows), inst, interp, batch_size=2)
+        batch = op.next_batch()
+        assert batch is not None and len(batch) == 10
+        assert op.next_batch() is None
+
+    def test_bound_parameter_rows_flow_as_one_batch(self):
+        from repro.translate.parameterized import (
+            bind_parameters,
+            parameterized_query,
+            translate_parameterized,
+        )
+        inst = Instance.of(EMP=[(i, i * 10) for i in range(6)])
+        pq = parameterized_query(["p"], ["s"], "EMP(p, s)")
+        res = translate_parameterized(pq)
+        plan = bind_parameters(res.plan, [(i,) for i in range(5)])
+        bound = build_physical_plan(plan, inst, Interpretation({}),
+                                    schema=res.schema, batch_size=2)
+        # find the literal the binder produced and check it emits its
+        # five bound tuples as one batch despite batch_size=2
+        from repro.engine.operators import LiteralOp
+
+        def find_literal(op):
+            if isinstance(op, LiteralOp):
+                return op
+            for attr in ("child", "left", "right"):
+                inner = getattr(op, attr, None)
+                if inner is not None:
+                    found = find_literal(inner)
+                    if found is not None:
+                        return found
+            return None
+
+        literal = find_literal(bound)
+        assert literal is not None
+        batch = literal.next_batch()
+        assert batch is not None and len(batch) == 5
+        assert literal.next_batch() is None
+
+        report = execute(plan, inst, Interpretation({}),
+                         schema=res.schema, batch_size=2)
+        assert report.counters.rows["literal"] == 5
+        assert len(report.result) == 5
+
+    def test_rows_view_equals_batch_concatenation(self, inst, interp):
+        plan = Union(Rel("R"), Rel("S"))
+        via_batches = []
+        op = build_physical_plan(plan, inst, interp, batch_size=2)
+        while (batch := op.next_batch()) is not None:
+            via_batches.extend(batch)
+        op2 = build_physical_plan(plan, inst, interp, batch_size=2)
+        assert via_batches == list(op2.rows())
+
+    def test_batches_counted(self, inst, interp):
+        report = execute(Rel("R"), inst, interp, batch_size=1)
+        assert report.counters.batches == 3
+        report = execute(Rel("R"), inst, interp, batch_size=1024)
+        assert report.counters.batches == 1
+
+    def test_summary_reports_batches(self, inst, interp):
+        report = execute(Rel("R"), inst, interp, batch_size=1)
+        text = report.summary()
+        assert "3 batches" in text
+
+    def test_invalid_batch_size_rejected(self, inst, interp):
+        from repro.errors import EvaluationError
+        with pytest.raises(EvaluationError):
+            build_physical_plan(Rel("R"), inst, interp, batch_size=0)
+
+    def test_env_default_batch_size(self, monkeypatch):
+        from repro.engine.operators import (
+            DEFAULT_BATCH_SIZE,
+            default_batch_size,
+        )
+        from repro.errors import EvaluationError
+        monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)
+        assert default_batch_size() == DEFAULT_BATCH_SIZE
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "64")
+        assert default_batch_size() == 64
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "0")
+        with pytest.raises(EvaluationError):
+            default_batch_size()
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "many")
+        with pytest.raises(EvaluationError):
+            default_batch_size()
+
+
+class TestComparisonCounter:
+    """``OpCounters.total_comparisons`` counts candidate row pairs
+    actually examined against a join predicate — one semantics across
+    all three join operators, pinned here.
+
+    R has 3 rows {1,2,3}, S has 2 rows {2,5}."""
+
+    def test_nested_loop_examines_every_pair(self, inst, interp):
+        plan = Join(frozenset({Condition(Col(1), "!=", Col(2))}),
+                    Rel("R"), Rel("S"))
+        report = execute(plan, inst, interp)
+        assert report.counters.total_comparisons == 3 * 2
+
+    def test_pure_product_examines_no_pairs(self, inst, interp):
+        report = execute(Product(Rel("R"), Rel("S")), inst, interp)
+        assert report.counters.total_comparisons == 0
+
+    def test_hash_join_examines_only_bucket_candidates(self, inst, interp):
+        plan = Join(frozenset({Condition(Col(1), "=", Col(2))}),
+                    Rel("R"), Rel("S"))
+        report = execute(plan, inst, interp)
+        # only R's row (2,) hits a bucket; its single candidate is (2,)
+        assert report.counters.total_comparisons == 1
+
+    def test_anti_join_short_circuits_at_first_match(self, inst, interp):
+        # R anti-join S on equality: each left row with a bucket hit
+        # costs exactly one examination (matched immediately)
+        plan = Diff(Rel("R"), Project((Col(1),), Join(
+            frozenset({Condition(Col(1), "=", Col(2))}),
+            Rel("R"), Rel("S"))))
+        report = execute(plan, inst, interp)
+        from repro.engine.operators import AntiJoinOp
+        assert isinstance(
+            build_physical_plan(plan, inst, interp), AntiJoinOp)
+        assert report.counters.total_comparisons == 1
+
+    def test_hash_join_never_exceeds_nested_loop(self, inst, interp):
+        equi = frozenset({Condition(Col(1), "=", Col(2))})
+        hj = execute(Join(equi, Rel("R"), Rel("S")), inst, interp)
+        nl = execute(Join(frozenset({Condition(Col(1), "!=", Col(2))}),
+                          Rel("R"), Rel("S")), inst, interp)
+        assert hj.counters.total_comparisons <= nl.counters.total_comparisons
+
+
 class TestAdomPlans:
     def test_baseline_plan_executes(self, interp):
         from repro.translate.baseline_adom import translate_query_adom

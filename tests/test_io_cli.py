@@ -181,6 +181,59 @@ class TestCliProfile:
         assert code == 0
         assert "explain analyze:" in out
         assert "actual rows=" in out
+        assert "self=" in out
+
+
+class TestCliBatchSize:
+    def _write_data(self, tmp_path):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1], [2], [3]]}}')
+        return data
+
+    def test_run_batch_size_flag(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["run", "{ x | R(x) }", "--data", str(data),
+                     "--batch-size", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 batches" in out
+
+    def test_run_batch_size_env_default(self, tmp_path, capsys, monkeypatch):
+        data = self._write_data(tmp_path)
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "1")
+        code = main(["run", "{ x | R(x) }", "--data", str(data)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 batches" in out
+        # an explicit flag beats the environment
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "1")
+        code = main(["run", "{ x | R(x) }", "--data", str(data),
+                     "--batch-size", "1024"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 batches" in out
+
+    def test_run_invalid_batch_size(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["run", "{ x | R(x) }", "--data", str(data),
+                     "--batch-size", "0"])
+        assert code == 2
+        assert "batch_size" in capsys.readouterr().err
+
+    def test_profile_batch_size_flag(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["profile", "{ x | R(x) }", "--data", str(data),
+                     "--batch-size", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "explain analyze:" in out
+
+    def test_bench_service_accepts_batch_size(self, capsys):
+        code = main(["bench-service", "--repeat", "1", "--batch", "1",
+                     "--batch-size", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cold vs warm" in out
 
 
 class TestCliDataErrors:

@@ -206,6 +206,51 @@ class TestExecutionProfile:
             expected = sum(profile.nodes[c].rows_out for c in stats.children)
             assert profile.rows_in(stats.op_id) == expected
 
+    @pytest.mark.parametrize("key",
+                             [e.key for e in _translatable_entries()])
+    def test_self_time_attribution(self, key):
+        """Every node's self time is non-negative and bounded by its
+        cumulative time; leaves have no child share at all."""
+        entry = GALLERY[key]
+        result = translate_query(entry.query)
+        profile = ExecutionProfile(query=entry.text)
+        execute(result.plan, gallery_instance(), standard_gallery_interp(),
+                schema=result.schema, profile=profile)
+        for stats in profile.nodes.values():
+            assert stats.self_elapsed_s >= 0.0
+            assert stats.child_elapsed_s >= 0.0
+            assert stats.self_elapsed_s <= stats.elapsed_s + 1e-9
+            if not stats.children:
+                assert stats.child_elapsed_s == 0.0
+
+    def test_self_times_sum_to_root_cumulative(self):
+        """Self times partition the root's cumulative time (within
+        timer resolution): child time is subtracted exactly once."""
+        entry = GALLERY["q4"]
+        result = translate_query(entry.query)
+        profile = ExecutionProfile()
+        execute(result.plan, gallery_instance(), standard_gallery_interp(),
+                schema=result.schema, profile=profile)
+        root = profile.nodes[profile.root_id]
+        total_self = sum(s.self_elapsed_s for s in profile.nodes.values())
+        # each per-call perf_counter pair can lose ~1us of resolution
+        slack = 2e-6 * sum(s.calls for s in profile.nodes.values()) + 1e-4
+        assert abs(total_self - root.elapsed_s) <= \
+            max(slack, root.elapsed_s * 0.5)
+
+    def test_evaluator_profile_has_child_time(self):
+        """The reference evaluator fills child_elapsed_s too."""
+        entry = GALLERY["q2"]
+        result = translate_query(entry.query)
+        profile = ExecutionProfile()
+        evaluate(result.plan, gallery_instance(), standard_gallery_interp(),
+                 schema=result.schema, profile=profile)
+        root = profile.nodes[profile.root_id]
+        if root.children:
+            assert root.child_elapsed_s > 0.0
+        for stats in profile.nodes.values():
+            assert stats.self_elapsed_s >= 0.0
+
     def test_unprofiled_execution_has_no_wrappers(self):
         from repro.engine.operators import ProfiledOp
         from repro.engine.planner import build_physical_plan
@@ -228,6 +273,8 @@ class TestExplainAnalyze:
         assert "est=" in text and "actual rows=" in text
         assert "q-err=" in text
         assert text.count("(est=") == len(profile.nodes)
+        # every node line renders its self time next to the cumulative
+        assert text.count("self=") == len(profile.nodes)
 
     def test_q_error_summary_table(self):
         entry = GALLERY["q4"]
@@ -237,6 +284,7 @@ class TestExplainAnalyze:
                 schema=result.schema, profile=profile)
         table = q_error_summary(profile)
         assert "max q-err" in table
+        assert "self_ms" in table
         assert any(label in table for label in ("hash-join", "anti-join",
                                                 "map", "scan"))
 
@@ -261,6 +309,7 @@ class TestExport:
         ops = payload["profile"]["operators"]
         assert ops and all(
             {"rows_out", "rows_in", "calls", "elapsed_s",
+             "child_elapsed_s", "self_elapsed_s",
              "estimated_rows"} <= set(op) for op in ops)
         assert payload["translation"]["spans"][0]["name"] == "translate"
         assert payload["metrics"]["runs"]["value"] == 1

@@ -157,6 +157,36 @@ class TestEnginePlanProperty:
         interp = _interp()
         assert execute(plan, inst, interp).result == evaluate(plan, inst, interp)
 
+    @_SETTINGS
+    @given(st.integers(0, 10_000), st.integers(0, 50),
+           st.sampled_from([1, 2, 7, 64, 1024]))
+    def test_batch_concatenation_equals_row_stream(self, plan_seed,
+                                                   data_seed, batch_size):
+        """Concatenating ``next_batch()`` output is the row stream: the
+        exact sequence (order included) the row-at-a-time ``rows()``
+        view produces on an identically built plan, at every batch
+        size — and as a set it is the reference evaluator's answer."""
+        from repro.engine.planner import build_physical_plan
+
+        plan = random_plan(plan_seed)
+        inst = _instance(data_seed)
+        interp = _interp()
+        # Same algebra/instance/interpretation objects on both builds,
+        # so source iteration order is identical between the two trees.
+        batched = build_physical_plan(plan, inst, interp,
+                                      batch_size=batch_size)
+        concatenated: list[tuple] = []
+        while (batch := batched.next_batch()) is not None:
+            assert batch, "next_batch() must never return an empty batch"
+            concatenated.extend(batch)
+        assert batched.next_batch() is None, \
+            "an exhausted operator must stay exhausted"
+
+        row_view = build_physical_plan(plan, inst, interp,
+                                       batch_size=batch_size)
+        assert concatenated == list(row_view.rows())
+        assert frozenset(concatenated) == evaluate(plan, inst, interp).rows
+
 
 class TestOptimizerProperty:
     @_SETTINGS
