@@ -16,9 +16,16 @@ Commands:
   instance (see :mod:`repro.data.io`); scalar functions come from
   ``--functions mod.py`` (a Python file defining ``FUNCTIONS = {...}``)
   or default to a deterministic demo interpretation; ``--analyze``
-  appends the EXPLAIN ANALYZE operator tree; ``--batch-size N`` (also
-  on ``profile`` and ``bench-service``) sets the engine's rows-per-
-  batch, defaulting to the ``REPRO_BATCH_SIZE`` environment variable;
+  appends the applied rewrite steps and the EXPLAIN ANALYZE operator
+  tree; ``--batch-size N`` (also on ``profile`` and ``bench-service``)
+  sets the engine's rows-per-batch, defaulting to the
+  ``REPRO_BATCH_SIZE`` environment variable; ``--optimize`` /
+  ``--no-optimize`` (also on ``profile`` and ``serve``) gates the
+  cost-based rewrite pass, defaulting to the ``REPRO_OPTIMIZE``
+  environment variable (on);
+* ``stats --data FILE``            — dump the collected per-relation
+  statistics (row counts, per-column distincts) feeding the optimizer's
+  cardinality estimates, as text or ``--json``;
 * ``profile 'QUERY' --data FILE``  — instrumented run: translation phase
   spans, per-operator estimated-vs-actual rows and timings, q-error
   summary, optional ``--json out.json`` export;
@@ -195,7 +202,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     interp = _load_functions(args.functions, result.schema)
     profile = ExecutionProfile(query=args.query) if args.analyze else None
     report = execute(result.plan, instance, interp, schema=result.schema,
-                     profile=profile, batch_size=args.batch_size)
+                     profile=profile, batch_size=args.batch_size,
+                     optimize=args.optimize)
     print(f"plan:   {to_algebra_text(result.plan)}")
     print(f"stats:  {report.summary()}")
     for row in sorted(report.result.rows, key=repr)[:args.limit]:
@@ -204,9 +212,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  ... ({len(report.result)} rows total)")
     if profile is not None:
         print()
+        _print_rewrites(report)
         print("explain analyze:")
         print(render_explain_analyze(profile))
     return 0
+
+
+def _print_rewrites(report) -> None:
+    """Render the optimizer's applied rewrite steps (if any)."""
+    if report.rewrites:
+        print(f"rewrites ({report.optimize_seconds * 1e3:.2f} ms):")
+        for step in report.rewrites:
+            print(f"  {step}")
+    else:
+        print("rewrites: none applied")
+    print()
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -225,7 +245,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     with metrics.time("execute"):
         report = execute(result.plan, instance, interp,
                          schema=result.schema, profile=profile,
-                         batch_size=args.batch_size)
+                         batch_size=args.batch_size,
+                         optimize=args.optimize)
     metrics.gauge("plan.size").set(result.plan_size)
     metrics.counter("trace.steps").inc(len(result.trace))
     metrics.counter("operator.rows").inc(profile.total_rows())
@@ -237,6 +258,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("translation spans:")
     print(tracer.render())
     print()
+    _print_rewrites(report)
     print("explain analyze:")
     print(render_explain_analyze(profile))
     print()
@@ -276,7 +298,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = QueryService(instance, interpretation=interp,
                            cache_size=args.cache_size,
                            max_workers=args.workers,
-                           default_timeout_s=args.timeout)
+                           default_timeout_s=args.timeout,
+                           optimize=args.optimize)
     with service:
         reports = service.run_many(requests)
     failures = 0
@@ -328,6 +351,41 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.engine.stats import collect_stats
+
+    instance = _load_data(args.data)
+    stats = collect_stats(instance)
+    if args.json is not None:
+        import json as _json
+        payload = _json.dumps({
+            name: {"rows": table.rows, "distinct": list(table.distinct)}
+            for name, table in sorted(stats.tables.items())
+        }, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w") as handle:
+                    handle.write(payload + "\n")
+            except OSError as err:
+                reason = err.strerror or str(err)
+                raise _DataFileError(
+                    f"cannot write stats to {args.json!r}: {reason}",
+                    hint="--json expects a writable output path") from None
+            print(f"stats written to {args.json}")
+        return 0
+    if not stats.tables:
+        print("instance has no relations")
+        return 0
+    width = max(len(name) for name in stats.tables)
+    for name, table in sorted(stats.tables.items()):
+        distinct = ", ".join(str(d) for d in table.distinct)
+        print(f"{name:>{width}}: {table.rows} rows; "
+              f"distinct per column: [{distinct}]")
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from repro.workloads.gallery import GALLERY
     print("The paper's query gallery (see examples/safety_lab.py for the "
@@ -343,6 +401,13 @@ def _add_batch_size(parser: argparse.ArgumentParser) -> None:
         "--batch-size", type=int, default=None, metavar="N",
         help="engine rows per batch (default: REPRO_BATCH_SIZE env "
              "var, else 1024)")
+
+
+def _add_optimize(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--optimize", action=argparse.BooleanOptionalAction, default=None,
+        help="cost-based rewrite pass (default: REPRO_OPTIMIZE env "
+             "var, else on)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -388,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the EXPLAIN ANALYZE operator tree "
                           "(estimated vs actual rows and timings)")
     _add_batch_size(run)
+    _add_optimize(run)
     run.set_defaults(fn=_cmd_run)
 
     profile = sub.add_parser(
@@ -401,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", metavar="OUT",
                          help="write the profile/span/metrics bundle as JSON")
     _add_batch_size(profile)
+    _add_optimize(profile)
     profile.set_defaults(fn=_cmd_profile)
 
     serve = sub.add_parser(
@@ -424,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max rows to print per request")
     serve.add_argument("--json", metavar="OUT",
                        help="write reports + cache stats + metrics as JSON")
+    _add_optimize(serve)
     serve.set_defaults(fn=_cmd_serve)
 
     bench_service = sub.add_parser(
@@ -437,6 +505,16 @@ def build_parser() -> argparse.ArgumentParser:
                                help="parameter batch sizes (default 1 8 64)")
     _add_batch_size(bench_service)
     bench_service.set_defaults(fn=_cmd_bench_service)
+
+    stats = sub.add_parser(
+        "stats",
+        help="dump collected per-relation statistics (rows, per-column "
+             "distinct counts) — the optimizer's estimator inputs")
+    stats.add_argument("--data", required=True, help="instance JSON file")
+    stats.add_argument("--json", nargs="?", const="-", metavar="OUT",
+                       help="emit the statistics as JSON to OUT "
+                            "(or stdout when no path is given)")
+    stats.set_defaults(fn=_cmd_stats)
 
     demo = sub.add_parser("demo", help="list the paper's query gallery")
     demo.set_defaults(fn=_cmd_demo)

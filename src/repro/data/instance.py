@@ -23,10 +23,11 @@ class Instance:
     from the first row of each relation.
     """
 
-    __slots__ = ("_relations",)
+    __slots__ = ("_relations", "_fingerprint")
 
     def __init__(self, relations: Mapping[str, Relation]):
         self._relations: dict[str, Relation] = dict(relations)
+        self._fingerprint: int | None = None
         for name, rel in self._relations.items():
             if not isinstance(rel, Relation):
                 raise EvaluationError(f"instance entry {name} is not a Relation")
@@ -80,7 +81,18 @@ class Instance:
         return self._relations == other._relations
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._relations.items()))
+        return self.fingerprint()
+
+    def fingerprint(self) -> int:
+        """Content hash of the instance, computed once and cached.
+
+        Instances are immutable, so the fingerprint is a valid identity
+        for content-addressed caches (:mod:`repro.engine.caches` keys
+        collected statistics and term-closure materializations by it).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = hash(frozenset(self._relations.items()))
+        return self._fingerprint
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{n}[{len(r)}x{r.arity}]" for n, r in self._relations.items())

@@ -1,21 +1,39 @@
-"""Physical execution engine: operators, planner, executor.
+"""Physical execution engine: operators, planner, executor, optimizer.
 
 The engine exists for the performance experiments (E6/E9): the paper's
 argument that [GT91]-style plans beat active-domain plans is a claim
 about execution, and these operators make it measurable.
 Correctness is anchored to :func:`repro.algebra.evaluate` — the engine
 must return identical relations on every plan (tested).
+
+Between translation and planning sits the cost-based logical rewrite
+pass (:mod:`repro.engine.rewrite`; on by default, ``REPRO_OPTIMIZE=0``
+disables), fed by cached per-instance statistics and term closures
+(:mod:`repro.engine.caches`).
 """
 
-from repro.engine.executor import RunReport, execute
+from repro.engine.caches import (
+    clear_engine_caches,
+    closure_for,
+    engine_cache_info,
+    stats_for,
+)
+from repro.engine.executor import RunReport, execute, plan_catalog
 from repro.engine.operators import (
     DEFAULT_BATCH_SIZE,
     OpCounters,
     ProfiledOp,
     default_batch_size,
 )
-from repro.engine.optimizer import choose_build_sides
+from repro.engine.optimizer import choose_build_sides, match_anti_join
 from repro.engine.planner import build_physical_plan
+from repro.engine.rewrite import (
+    OptimizationResult,
+    RewriteStep,
+    optimize_enabled,
+    optimize_plan,
+    shared_subplans,
+)
 from repro.engine.stats import (
     ENUMERATE_FANOUT,
     InstanceStats,
@@ -27,7 +45,11 @@ from repro.engine.stats import (
 __all__ = [
     "execute", "RunReport", "OpCounters", "ProfiledOp",
     "DEFAULT_BATCH_SIZE", "default_batch_size",
-    "build_physical_plan",
+    "build_physical_plan", "plan_catalog",
     "collect_stats", "TableStats", "InstanceStats",
     "estimate_cardinality", "choose_build_sides", "ENUMERATE_FANOUT",
+    "match_anti_join",
+    "optimize_plan", "optimize_enabled", "OptimizationResult",
+    "RewriteStep", "shared_subplans",
+    "stats_for", "closure_for", "clear_engine_caches", "engine_cache_info",
 ]

@@ -1,20 +1,35 @@
-"""Plan execution and run reports."""
+"""Plan execution and run reports.
+
+Execution is a three-stage pipeline: the cost-based logical rewrite
+pass (:mod:`repro.engine.rewrite`, on by default, gated by
+``optimize``/``REPRO_OPTIMIZE``), physical planning
+(:mod:`repro.engine.planner`), then batch-at-a-time evaluation.  With
+the pass disabled the translated plan goes to the planner untouched —
+exactly the pre-optimizer behaviour.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
 
-from repro.algebra.ast import AlgebraExpr
+from repro.algebra.ast import AlgebraExpr, Rel, walk_algebra
 from repro.core.schema import DatabaseSchema
 from repro.data.instance import Instance
 from repro.data.interpretation import Interpretation
 from repro.data.relation import Relation
+from repro.engine.caches import stats_for
 from repro.engine.operators import OpCounters
 from repro.engine.planner import build_physical_plan
+from repro.engine.rewrite import (
+    RewriteStep,
+    optimize_enabled,
+    optimize_plan,
+)
+from repro.errors import EvaluationError, PlanInvariantError
 from repro.obs.profile import ExecutionProfile
 
-__all__ = ["RunReport", "execute"]
+__all__ = ["RunReport", "execute", "plan_catalog"]
 
 
 @dataclass
@@ -26,6 +41,10 @@ class RunReport:
     counters: OpCounters
     function_calls: int
     profile: ExecutionProfile | None = None
+    #: Rewrites the optimizer applied (empty when disabled or a no-op).
+    rewrites: tuple[RewriteStep, ...] = ()
+    #: Time spent in the logical rewrite pass (0.0 when disabled).
+    optimize_seconds: float = 0.0
 
     @property
     def intermediate_rows(self) -> int:
@@ -36,17 +55,37 @@ class RunReport:
         per_op = ", ".join(
             f"{name}={count}" for name, count in sorted(self.counters.rows.items())
         )
-        return (f"{len(self.result)} result rows in {self.elapsed_seconds * 1e3:.2f} ms; "
+        text = (f"{len(self.result)} result rows in {self.elapsed_seconds * 1e3:.2f} ms; "
                 f"intermediates: {per_op} ({self.counters.batches} batches); "
                 f"function calls: {self.function_calls}")
+        if self.rewrites:
+            text += (f"; {len(self.rewrites)} rewrite(s) in "
+                     f"{self.optimize_seconds * 1e3:.2f} ms")
+        return text
+
+
+def plan_catalog(expr: AlgebraExpr, instance: Instance,
+                 schema: DatabaseSchema | None = None) -> dict[str, int]:
+    """Relation-arity catalog for ``expr``: the schema's declarations
+    when available, else the arities of the instance relations the plan
+    actually scans."""
+    if schema is not None:
+        return {decl.name: decl.arity for decl in schema.relations}
+    catalog: dict[str, int] = {}
+    for node in walk_algebra(expr):
+        if isinstance(node, Rel) and instance.has_relation(node.name):
+            catalog[node.name] = instance.relation(node.name).arity
+    return catalog
 
 
 def execute(expr: AlgebraExpr, instance: Instance,
             interpretation: Interpretation,
             schema: DatabaseSchema | None = None,
             profile: ExecutionProfile | None = None,
-            batch_size: int | None = None) -> RunReport:
-    """Plan and run ``expr``, returning the result with measurements.
+            batch_size: int | None = None,
+            optimize: bool | None = None) -> RunReport:
+    """Optimize, plan, and run ``expr``, returning the result with
+    measurements.
 
     Scalar-function applications are counted through the
     interpretation's own counters (reset at entry), so the report
@@ -54,33 +93,60 @@ def execute(expr: AlgebraExpr, instance: Instance,
     planner (``None`` resolves ``REPRO_BATCH_SIZE``, else 1024); the
     result is assembled batch-at-a-time from ``next_batch()``.
 
+    ``optimize`` gates the cost-based rewrite pass: ``None`` defers to
+    the ``REPRO_OPTIMIZE`` environment variable (default on).  The pass
+    consults cached instance statistics (:func:`stats_for`) and falls
+    back to the unoptimized plan if the plan references relations it
+    cannot type (plan *invariant* violations still propagate — a
+    rewrite producing a malformed plan is a bug, not a fallback).  The
+    applied rewrite steps and the time spent rewriting are reported.
+
     With ``profile`` (an :class:`~repro.obs.profile.ExecutionProfile`),
     every physical operator additionally records per-node rows, calls,
     and elapsed time (total and self), and the profile's
-    ``estimated_rows`` are filled from freshly collected instance
-    statistics — the data behind ``EXPLAIN ANALYZE``
-    (:mod:`repro.obs.explain`).  Without it the execution path is
-    untouched.
+    ``estimated_rows`` are filled from cached instance statistics — the
+    data behind ``EXPLAIN ANALYZE`` (:mod:`repro.obs.explain`).
+    Without it the execution path is untouched.
     """
     interpretation.reset_counts()
     counters = OpCounters()
-    plan = build_physical_plan(expr, instance, interpretation, schema,
-                               counters, profile, batch_size=batch_size)
+    plan = expr
+    rewrites: tuple[RewriteStep, ...] = ()
+    shared: frozenset | None = None
+    optimize_elapsed = 0.0
+    if optimize_enabled(optimize):
+        start = time.perf_counter()
+        try:
+            outcome = optimize_plan(plan, stats_for(instance),
+                                    plan_catalog(expr, instance, schema))
+        except PlanInvariantError:
+            raise
+        except EvaluationError:
+            outcome = None  # un-typable plan: run it as translated
+        optimize_elapsed = time.perf_counter() - start
+        if outcome is not None:
+            plan = outcome.plan
+            rewrites = outcome.steps
+            shared = outcome.shared or None
+    physical = build_physical_plan(plan, instance, interpretation, schema,
+                                   counters, profile, batch_size=batch_size,
+                                   shared=shared)
     start = time.perf_counter()
     rows: set[tuple] = set()
-    while (batch := plan.next_batch()) is not None:
+    while (batch := physical.next_batch()) is not None:
         rows.update(batch)
     elapsed = time.perf_counter() - start
     if profile is not None:
-        from repro.engine.stats import collect_stats
         profile.elapsed_s = elapsed
         profile.result_rows = len(rows)
         profile.function_calls = interpretation.call_count()
-        profile.annotate_estimates(collect_stats(instance))
+        profile.annotate_estimates(stats_for(instance))
     return RunReport(
-        result=Relation(plan.arity, rows),
+        result=Relation(physical.arity, rows),
         elapsed_seconds=elapsed,
         counters=counters,
         function_calls=interpretation.call_count(),
         profile=profile,
+        rewrites=rewrites,
+        optimize_seconds=optimize_elapsed,
     )

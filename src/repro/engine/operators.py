@@ -70,6 +70,8 @@ __all__ = [
     "UnionOp",
     "DiffOp",
     "AdomOp",
+    "SharedSubplan",
+    "MaterializeOp",
 ]
 
 #: Rows per source batch when neither the caller nor the environment says
@@ -603,6 +605,55 @@ class AdomOp(PhysicalOp):
     def _batches(self) -> Iterator[list[tuple]]:
         return self._emit(
             "adom", _chunks(((v,) for v in self.values), self.batch_size))
+
+
+class SharedSubplan:
+    """Compute-once cache for a subplan shared by several plan sites.
+
+    The optimizer's common-subexpression pass hands the planner a set
+    of structurally repeated subplans; the planner builds the operator
+    tree for each **once**, wraps it in a ``SharedSubplan``, and gives
+    every occurrence a :class:`MaterializeOp` reader over it.  The
+    first reader to pull drains the inner operator into a row list;
+    every reader (including the first) then streams that list in its
+    own batches.  Operators are single-use, so sharing the *rows* —
+    not the operator — is what makes N occurrences cost one
+    evaluation.
+    """
+
+    def __init__(self, inner: PhysicalOp):
+        self.inner = inner
+        self.arity = inner.arity
+        self._rows: list[tuple] | None = None
+
+    def rows(self) -> list[tuple]:
+        """The materialized result, computing it on first use."""
+        if self._rows is None:
+            out: list[tuple] = []
+            while (batch := self.inner.next_batch()) is not None:
+                out.extend(batch)
+            self._rows = out
+        return self._rows
+
+
+class MaterializeOp(PhysicalOp):
+    """Batch reader over a :class:`SharedSubplan`.
+
+    Each occurrence of a shared subplan gets its own reader (operators
+    are single-use), all backed by the same materialization.  Rows are
+    re-chunked to this plan's batch size, and counted under
+    ``materialize`` — so profiles show how often a shared result was
+    re-read without re-charging the work that produced it.
+    """
+
+    def __init__(self, shared: SharedSubplan, counters: OpCounters):
+        self.shared = shared
+        self.arity = shared.arity
+        self.counters = counters
+
+    def _batches(self) -> Iterator[list[tuple]]:
+        return self._emit(
+            "materialize", _chunks(self.shared.rows(), self.batch_size))
 
 
 def _chunks(rows: Iterable[tuple], size: int) -> Iterator[list[tuple]]:

@@ -8,9 +8,21 @@ The planner makes the two decisions a minimal executor needs:
   filters; anything else falls back to :class:`NestedLoopJoinOp`;
 * **build side** — the right input is always the build side, matching
   how the translator emits plans (context on the left, base relation on
-  the right; the context is usually the larger stream).
+  the right; the context is usually the larger stream).  The cost-based
+  rewrite pass (:mod:`repro.engine.rewrite`) swaps inputs *above* this
+  layer when statistics disagree.
 
 Plans are rebuilt per execution (operators are single-use iterators).
+Two cross-cutting optimizations surface here:
+
+* ``AdomK`` closures come from the cross-query cache
+  (:func:`repro.engine.caches.closure_for`) — the [AB88] baseline emits
+  the same closure many times per plan and across requests;
+* the optimizer's ``shared`` set marks structurally repeated subplans;
+  each is built once behind a
+  :class:`~repro.engine.operators.SharedSubplan` and every occurrence
+  reads the materialization through its own
+  :class:`~repro.engine.operators.MaterializeOp`.
 """
 
 from __future__ import annotations
@@ -32,9 +44,9 @@ from repro.algebra.ast import (
     Union,
 )
 from repro.core.schema import DatabaseSchema
-from repro.data.domain import term_closure
 from repro.data.instance import Instance
 from repro.data.interpretation import Interpretation
+from repro.engine.caches import closure_for
 from repro.engine.operators import (
     AdomOp,
     AntiJoinOp,
@@ -44,14 +56,17 @@ from repro.engine.operators import (
     HashJoinOp,
     LiteralOp,
     MapOp,
+    MaterializeOp,
     NestedLoopJoinOp,
     OpCounters,
     PhysicalOp,
     ProfiledOp,
     ScanOp,
+    SharedSubplan,
     UnionOp,
 )
 from repro.engine.operators import default_batch_size
+from repro.engine.optimizer import match_anti_join
 from repro.errors import EvaluationError
 from repro.obs.profile import ExecutionProfile, algebra_label
 
@@ -76,25 +91,10 @@ def _split_join_conditions(conds: frozenset[Condition], left_arity: int
     return tuple(pairs), frozenset(residual)
 
 
-def _match_anti_join(node: Diff):
-    """Detect the translator's generalized-difference shape
-    ``Diff(e, Project(identity-over-e, Join(conds, e, X)))`` and return
-    ``(conds, e, X)``, or None."""
-    right = node.right
-    if not isinstance(right, Project):
-        return None
-    join = right.child
-    if not isinstance(join, Join) or join.left != node.left:
-        return None
-    identity = all(
-        isinstance(e, Col) and e.index == i + 1
-        for i, e in enumerate(right.exprs)
-    )
-    if not identity:
-        return None
-    # the projection must keep exactly the left columns; conditions may
-    # reference both sides (they are evaluated over the joined row)
-    return join.conds, node.left, join.right
+# The anti-join pattern matcher lives with the rewrites that must
+# preserve it; re-exported under its historical name for callers that
+# imported it from here.
+_match_anti_join = match_anti_join
 
 
 def build_physical_plan(expr: AlgebraExpr, instance: Instance,
@@ -102,12 +102,20 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
                         schema: DatabaseSchema | None = None,
                         counters: OpCounters | None = None,
                         profile: ExecutionProfile | None = None,
-                        batch_size: int | None = None) -> PhysicalOp:
+                        batch_size: int | None = None,
+                        shared: frozenset | None = None) -> PhysicalOp:
     """Compile an algebra expression into an executable operator tree.
 
     ``batch_size`` sets the rows-per-batch of every source operator in
     the tree; ``None`` resolves :func:`default_batch_size` once per plan
     (the ``REPRO_BATCH_SIZE`` environment variable, else 1024).
+
+    ``shared`` (from :func:`repro.engine.rewrite.shared_subplans`) lists
+    structurally repeated subplans: the first occurrence is built
+    normally and materialized behind a ``SharedSubplan``; every
+    occurrence — including the first — reads the cached rows through
+    its own ``MaterializeOp``, so a subplan appearing N times is
+    evaluated once.
 
     With ``profile`` set, every operator is wrapped in a
     :class:`~repro.engine.operators.ProfiledOp` recording rows, calls,
@@ -137,7 +145,21 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
                                  children=child_ids)
         return ProfiledOp(op, stats, child_stats)
 
+    shared_builds: dict[AlgebraExpr, SharedSubplan] = {}
+
     def go(node: AlgebraExpr) -> PhysicalOp:
+        if shared and node in shared:
+            cached = shared_builds.get(node)
+            if cached is None:
+                inner = build(node)
+                cached = shared_builds[node] = SharedSubplan(inner)
+                return wrap(MaterializeOp(cached, counters),
+                            "materialize", node, inner)
+            return wrap(MaterializeOp(cached, counters),
+                        "materialize", node)
+        return build(node)
+
+    def build(node: AlgebraExpr) -> PhysicalOp:
         if isinstance(node, Rel):
             return wrap(ScanOp(instance.relation(node.name), counters),
                         "scan", node)
@@ -151,8 +173,8 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
         if isinstance(node, AdomK):
             if schema is None:
                 raise EvaluationError("AdomK requires a schema")
-            base = set(instance.active_domain()) | set(node.extras)
-            closed = term_closure(base, node.level, interpretation, schema)
+            closed = closure_for(instance, node.level, node.extras,
+                                 interpretation, schema)
             return wrap(AdomOp(frozenset(closed), counters), "adom", node)
         if isinstance(node, Project):
             child = go(node.child)

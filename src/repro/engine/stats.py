@@ -91,6 +91,12 @@ def collect_stats(instance: Instance) -> InstanceStats:
 def _condition_selectivity(cond: Condition, distinct_of) -> float:
     """Selectivity of one condition; ``distinct_of(col)`` estimates a
     column's distinct count."""
+    from repro.algebra.ast import CConst, compare_values
+    if isinstance(cond.left, CConst) and isinstance(cond.right, CConst):
+        # Constant vs constant is decidable at plan time: exactly 1.0
+        # or 0.0, never a guess (the rewrite pass folds these away).
+        return 1.0 if compare_values(cond.op, cond.left.value,
+                                     cond.right.value) else 0.0
     if cond.op == "=":
         if isinstance(cond.left, Col) and isinstance(cond.right, Col):
             return 1.0 / max(distinct_of(cond.left.index),
@@ -165,6 +171,34 @@ def estimate_cardinality(expr: AlgebraExpr, stats: InstanceStats) -> float:
             table = stats.table(node.name)
             if table is not None:
                 return table.distinct_at
+        if isinstance(node, (Select, Diff)):
+            # selections/differences keep a subset of the child's values;
+            # the child's distinct counts are a (close) upper bound
+            child = node.child if isinstance(node, Select) else node.left
+            return _column_distinct(child)
+        if isinstance(node, Project):
+            child_distinct = _column_distinct(node.child)
+
+            def via_projection(column: int) -> float:
+                if 1 <= column <= len(node.exprs):
+                    expr = node.exprs[column - 1]
+                    if isinstance(expr, Col):
+                        return child_distinct(expr.index)
+                return DEFAULT_DISTINCT
+
+            return via_projection
+        if isinstance(node, (Join, Product)):
+            left_arity = _static_arity(node.left)
+            if left_arity is not None:
+                left_distinct = _column_distinct(node.left)
+                right_distinct = _column_distinct(node.right)
+
+                def via_join(column: int) -> float:
+                    if column <= left_arity:
+                        return left_distinct(column)
+                    return right_distinct(column - left_arity)
+
+                return via_join
         return distinct_fallback
 
     def _static_arity(node: AlgebraExpr) -> int | None:
@@ -172,10 +206,28 @@ def estimate_cardinality(expr: AlgebraExpr, stats: InstanceStats) -> float:
             table = stats.table(node.name)
             if table is not None:
                 return len(table.distinct)
+            return None
         if isinstance(node, Lit):
             return node.arity
+        if isinstance(node, Params):
+            return node.arity
+        if isinstance(node, AdomK):
+            return 1
         if isinstance(node, Project):
             return len(node.exprs)
+        if isinstance(node, Select):
+            return _static_arity(node.child)
+        if isinstance(node, Enumerate):
+            child = _static_arity(node.child)
+            return None if child is None else child + node.out_count
+        if isinstance(node, (Join, Product)):
+            left = _static_arity(node.left)
+            right = _static_arity(node.right)
+            if left is None or right is None:
+                return None
+            return left + right
+        if isinstance(node, (Union, Diff)):
+            return _static_arity(node.left)
         return None
 
     return max(go(expr), 0.0)

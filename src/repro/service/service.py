@@ -54,7 +54,9 @@ from repro.data.generators import standard_functions
 from repro.data.instance import Instance
 from repro.data.interpretation import Interpretation
 from repro.data.relation import Relation
+from repro.engine.caches import clear_engine_caches, stats_for
 from repro.engine.executor import execute
+from repro.engine.stats import InstanceStats
 from repro.errors import NotEmAllowedError, ReproError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, SpanTracer
@@ -204,7 +206,8 @@ class QueryService:
                  default_timeout_s: float | None = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: SpanTracer | None = None,
-                 batch_size: int | None = None):
+                 batch_size: int | None = None,
+                 optimize: bool | None = None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cache = PlanCache(cache_size, metrics=self.metrics)
@@ -215,7 +218,14 @@ class QueryService:
         # parameter batch is never re-chunked regardless: it enters the
         # plan as a literal, which the engine emits as one batch.
         self.batch_size = batch_size
+        # Cost-based rewrite pass for every execution this service runs;
+        # None defers to REPRO_OPTIMIZE / the engine default (on).
+        self.optimize = optimize
         self._instance = instance
+        # Statistics memo: collected once per instance swap, not per
+        # request (backed by the content-addressed engine cache, so
+        # swapping back to previously seen data is also free).
+        self._instance_stats: InstanceStats | None = None
         self._interpretation = interpretation
         self._schema = schema
         self._annotations = annotations
@@ -250,9 +260,20 @@ class QueryService:
 
     def set_instance(self, instance: Instance) -> None:
         """Swap the data.  Cached plans survive: a plan mentions relation
-        *names* only, so it stays valid across data updates."""
+        *names* only, so it stays valid across data updates.  The
+        statistics memo does not — new data, new statistics."""
         with self._lock:
             self._instance = instance
+            self._instance_stats = None
+
+    def instance_stats(self) -> InstanceStats:
+        """Statistics of the current instance, collected at most once
+        per :meth:`set_instance` (and shared with the engine's
+        content-addressed cache)."""
+        with self._lock:
+            if self._instance_stats is None:
+                self._instance_stats = stats_for(self._instance)
+            return self._instance_stats
 
     def set_schema(self, schema: DatabaseSchema | None) -> None:
         """Swap the schema, invalidating every cached plan and verdict.
@@ -268,6 +289,9 @@ class QueryService:
             self._text_memo.clear()
             self.cache.clear()
             clear_safety_caches()
+            # Term closures depend on the schema's function signatures.
+            clear_engine_caches()
+            self._instance_stats = None
 
     def set_annotations(self, annotations) -> None:
         """Swap the annotation registry; same invalidation as
@@ -277,6 +301,7 @@ class QueryService:
             self._text_memo.clear()
             self.cache.clear()
             clear_safety_caches()
+            clear_engine_caches()
 
     def _current_interp(self, result_schema: DatabaseSchema) -> Interpretation:
         with self._lock:
@@ -498,7 +523,8 @@ class QueryService:
             with tracer.span("execute") as span:
                 interp = self._current_interp(outcome.schema)
                 run = execute(plan, instance, interp, schema=outcome.schema,
-                              batch_size=self.batch_size)
+                              batch_size=self.batch_size,
+                              optimize=self.optimize)
                 if tracer.enabled:
                     span.attrs["rows"] = len(run.result)
         except ReproError as err:

@@ -182,6 +182,91 @@ class TestCliProfile:
         assert "explain analyze:" in out
         assert "actual rows=" in out
         assert "self=" in out
+        assert "rewrites" in out
+
+
+class TestCliOptimize:
+    def _write_data(self, tmp_path):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1], [2], [3]]},'
+                        ' "S": {"arity": 1, "rows": [[2], [3]]}}')
+        return data
+
+    def test_run_no_optimize(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["run", "{ x | R(x) & S(x) }", "--data", str(data),
+                     "--no-optimize"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 result rows" in out
+
+    def test_run_optimize_matches_no_optimize(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        query = "{ x | R(x) & ~S(x) }"
+        assert main(["run", query, "--data", str(data), "--optimize"]) == 0
+        tuned = capsys.readouterr().out
+        assert main(["run", query, "--data", str(data),
+                     "--no-optimize"]) == 0
+        plain = capsys.readouterr().out
+        assert "\n  1" in tuned
+        # both modes return the same answer section
+        assert tuned.split("result rows")[1] == plain.split("result rows")[1]
+
+    def test_analyze_reports_rewrites_line(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["run", "{ x | R(x) & S(x) }", "--data", str(data),
+                     "--analyze"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rewrites" in out
+
+
+class TestCliStats:
+    def _write_data(self, tmp_path):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 2, "rows": [[1, 1], [2, 1]]},'
+                        ' "S": {"arity": 1, "rows": [[5]]}}')
+        return data
+
+    def test_stats_text_output(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["stats", "--data", str(data)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "R: 2 rows; distinct per column: [2, 1]" in out
+        assert "S: 1 rows; distinct per column: [1]" in out
+
+    def test_stats_json_stdout(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["stats", "--data", str(data), "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["R"] == {"rows": 2, "distinct": [2, 1]}
+        assert payload["S"] == {"rows": 1, "distinct": [1]}
+
+    def test_stats_json_file(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        target = tmp_path / "stats.json"
+        code = main(["stats", "--data", str(data), "--json", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stats written to" in out
+        payload = json.loads(target.read_text())
+        assert set(payload) == {"R", "S"}
+
+    def test_stats_empty_instance(self, tmp_path, capsys):
+        data = tmp_path / "inst.json"
+        data.write_text("{}")
+        code = main(["stats", "--data", str(data)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no relations" in out
+
+    def test_stats_missing_data_file(self, tmp_path, capsys):
+        from repro.cli import DATA_ERROR_EXIT
+        code = main(["stats", "--data", str(tmp_path / "nope.json")])
+        assert code == DATA_ERROR_EXIT
 
 
 class TestCliBatchSize:

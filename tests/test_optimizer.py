@@ -6,10 +6,14 @@ import random
 import pytest
 
 from repro.algebra.ast import (
+    AdomK,
     CConst,
     Col,
     Condition,
+    Diff,
+    Enumerate,
     Join,
+    Params,
     Product,
     Project,
     Rel,
@@ -22,7 +26,11 @@ from repro.data.instance import Instance
 from repro.data.interpretation import Interpretation
 from repro.engine.executor import execute
 from repro.engine.optimizer import choose_build_sides
-from repro.engine.stats import collect_stats, estimate_cardinality
+from repro.engine.stats import (
+    ENUMERATE_FANOUT,
+    collect_stats,
+    estimate_cardinality,
+)
 from repro.translate.pipeline import translate_query
 from repro.workloads.gallery import GALLERY, gallery_instance, standard_gallery_interp
 
@@ -84,6 +92,47 @@ class TestEstimates:
         large = collect_stats(Instance.of(R=[(i,) for i in range(50)]))
         assert estimate_cardinality(Rel("R"), small) < \
             estimate_cardinality(Rel("R"), large)
+
+    def test_enumerate_applies_fanout(self, skewed_instance):
+        stats = collect_stats(skewed_instance)
+        plan = Enumerate("inv", (Col(1),), 1, Rel("SMALL"))
+        assert estimate_cardinality(plan, stats) == \
+            pytest.approx(5 * ENUMERATE_FANOUT)
+
+    def test_params_estimate_is_one(self, skewed_instance):
+        stats = collect_stats(skewed_instance)
+        assert estimate_cardinality(Params(3), stats) == 1.0
+
+    def test_adom_grows_with_level(self, skewed_instance):
+        stats = collect_stats(skewed_instance)
+        total = 300 + 5
+        level0 = estimate_cardinality(AdomK(0, frozenset()), stats)
+        level2 = estimate_cardinality(AdomK(2, frozenset()), stats)
+        assert level0 == pytest.approx(float(total))
+        assert level2 == pytest.approx(float(total) * 4)
+        assert level0 < level2
+
+    def test_diff_never_negative(self, skewed_instance):
+        stats = collect_stats(skewed_instance)
+        diff = Diff(Rel("SMALL"),
+                    Project((Col(1),), Rel("BIG")))
+        estimate = estimate_cardinality(diff, stats)
+        assert estimate >= 0.0
+        # and the expected-case discount when the left side dominates
+        other = Diff(Rel("BIG"), Product(Rel("SMALL"), Rel("SMALL")))
+        assert estimate_cardinality(other, stats) == \
+            pytest.approx(300 - 0.5 * 25)
+
+    def test_const_const_selectivity_is_exact(self, skewed_instance):
+        stats = collect_stats(skewed_instance)
+        true_cond = Condition(CConst(1), "<", CConst(2))
+        false_cond = Condition(CConst(2), "<", CConst(1))
+        base = Rel("BIG")
+        assert estimate_cardinality(
+            Select(frozenset({true_cond}), base), stats) == \
+            pytest.approx(300.0)
+        assert estimate_cardinality(
+            Select(frozenset({false_cond}), base), stats) == 0.0
 
 
 class TestBuildSideOptimizer:

@@ -282,6 +282,46 @@ class TestCacheHygiene:
         assert report.cache == "hit"
 
 
+class TestInstanceStats:
+    def test_stats_collected_once_per_instance(self, service):
+        first = service.instance_stats()
+        again = service.instance_stats()
+        assert first is again
+
+    def test_instance_swap_invalidates_stats(self, service):
+        before = service.instance_stats()
+        service.set_instance(Instance.of(R=[(1,), (2,), (3,)]))
+        after = service.instance_stats()
+        assert after is not before
+        assert after.table("R").rows == 3
+
+    def test_stats_match_direct_collection(self, service):
+        from repro.engine.stats import collect_stats
+        assert service.instance_stats().tables == \
+            collect_stats(service.instance).tables
+
+
+class TestServiceOptimizeSwitch:
+    def test_optimize_off_still_answers_correctly(self):
+        svc = QueryService(gallery_instance(),
+                           interpretation=standard_gallery_interp(),
+                           optimize=False)
+        try:
+            baseline = svc.run(FLAGSHIP)
+            assert baseline.ok
+        finally:
+            svc.close()
+        on = QueryService(gallery_instance(),
+                          interpretation=standard_gallery_interp(),
+                          optimize=True)
+        try:
+            tuned = on.run(FLAGSHIP)
+            assert tuned.ok
+            assert tuned.result == baseline.result
+        finally:
+            on.close()
+
+
 class TestGalleryAgainstReference:
     def test_cached_answers_match_the_reference_evaluator(self, service):
         interp = standard_gallery_interp()
