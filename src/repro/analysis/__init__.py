@@ -1,6 +1,7 @@
-"""Static analysis over both IRs: diagnostics, linter, plan sanitizer.
+"""Static analysis over both IRs: diagnostics, linter, plan sanitizer,
+type inference, and translation validation.
 
-Three layers (see DESIGN.md S19):
+Five layers (see DESIGN.md S19 and S23):
 
 * :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` value
   type, severity order, compiler-style text rendering, and JSON export;
@@ -9,7 +10,14 @@ Three layers (see DESIGN.md S19):
   explanatory em-allowed safety rules);
 * :mod:`repro.analysis.sanitizer` — bottom-up schema inference over
   algebra plans, wired into the translation pipeline and simplifier
-  behind ``verify_plans``.
+  behind ``verify_plans``;
+* :mod:`repro.analysis.typeinfer` — the abstract interpreter assigning
+  each plan node per-column facts (value type, nullability, function
+  depth / ``term_k`` finiteness certificate, constants, provenance,
+  keys), reporting ``TY0xx`` diagnostics;
+* :mod:`repro.analysis.validate` — the translation validator replaying
+  the optimizer's recorded rewrite steps and discharging per-rule
+  soundness obligations (``TV0xx``).
 
 Only the diagnostics core is imported eagerly: the safety layer
 (:mod:`repro.safety.em_allowed`) imports it, while the linter imports
@@ -53,6 +61,7 @@ __all__ = [
     "LintRule",
     "LintTarget",
     "DEFAULT_LINTER",
+    "REGISTERED_RULE_CODES",
     "lint_formula",
     "lint_query",
     "lint_source",
@@ -61,27 +70,52 @@ __all__ = [
     "check_plan",
     "set_verify_plans",
     "verify_plans_enabled",
+    # typeinfer (lazy)
+    "ColumnFact",
+    "FinitenessCertificate",
+    "NodeFacts",
+    "PlanTypes",
+    "infer_plan_types",
+    "refinement_violations",
+    "render_typed_plan",
+    # validate (lazy)
+    "check_rewrites",
+    "refinement_diagnostics",
+    "validate_rewrites",
 ]
 
 _LINTER_NAMES = frozenset({
     "Linter", "LintRule", "LintTarget", "DEFAULT_LINTER",
-    "lint_formula", "lint_query", "lint_source",
+    "REGISTERED_RULE_CODES", "lint_formula", "lint_query", "lint_source",
 })
 _SANITIZER_NAMES = frozenset({
     "sanitize_plan", "check_plan", "set_verify_plans",
     "verify_plans_enabled",
 })
+_TYPEINFER_NAMES = frozenset({
+    "ColumnFact", "FinitenessCertificate", "NodeFacts", "PlanTypes",
+    "infer_plan_types", "refinement_violations", "render_typed_plan",
+})
+_VALIDATE_NAMES = frozenset({
+    "check_rewrites", "refinement_diagnostics", "validate_rewrites",
+})
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _LINTER_NAMES:
         from repro.analysis import linter
         return getattr(linter, name)
     if name in _SANITIZER_NAMES:
         from repro.analysis import sanitizer
         return getattr(sanitizer, name)
+    if name in _TYPEINFER_NAMES:
+        from repro.analysis import typeinfer
+        return getattr(typeinfer, name)
+    if name in _VALIDATE_NAMES:
+        from repro.analysis import validate
+        return getattr(validate, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def __dir__():
+def __dir__() -> list[str]:
     return sorted(__all__)

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import json
 import pathlib
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import SourceSpan
 
@@ -88,9 +90,9 @@ class Diagnostic:
     def is_error(self) -> bool:
         return self.severity == ERROR
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-ready dict; optional fields are omitted when empty."""
-        out: dict = {
+        out: dict[str, Any] = {
             "code": self.code,
             "severity": self.severity,
             "message": self.message,
@@ -110,12 +112,12 @@ class Diagnostic:
         return f"{self.severity}[{self.code}] {self.message}"
 
 
-def has_errors(diagnostics) -> bool:
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
     """True when any diagnostic has error severity."""
     return any(d.is_error for d in diagnostics)
 
 
-def max_severity(diagnostics) -> str | None:
+def max_severity(diagnostics: Iterable[Diagnostic]) -> str | None:
     """The most severe level present, or None for an empty list."""
     best: str | None = None
     for d in diagnostics:
@@ -124,7 +126,7 @@ def max_severity(diagnostics) -> str | None:
     return best
 
 
-def sort_diagnostics(diagnostics) -> list[Diagnostic]:
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
     """Stable order: severity first, then code, then path."""
     return sorted(diagnostics, key=lambda d: (_RANK[d.severity], d.code, d.path))
 
@@ -150,7 +152,8 @@ def render_diagnostic(diagnostic: Diagnostic, source: str = "") -> str:
     return "\n".join(lines)
 
 
-def render_diagnostics(diagnostics, source: str = "") -> str:
+def render_diagnostics(diagnostics: Iterable[Diagnostic],
+                       source: str = "") -> str:
     """All diagnostics (sorted most severe first) plus a summary line."""
     diagnostics = sort_diagnostics(diagnostics)
     if not diagnostics:
@@ -163,14 +166,15 @@ def render_diagnostics(diagnostics, source: str = "") -> str:
     return "\n".join(blocks) + f"\n{summary}"
 
 
-def diagnostics_to_dict(diagnostics, source: str = "") -> dict:
+def diagnostics_to_dict(diagnostics: Iterable[Diagnostic],
+                        source: str = "") -> dict[str, Any]:
     """The lint bundle: diagnostics plus a severity summary.
 
     Mirrors :func:`repro.obs.export.export_bundle`: one dict with
     sections, empty sections omitted.
     """
     diagnostics = sort_diagnostics(diagnostics)
-    bundle: dict = {
+    bundle: dict[str, Any] = {
         "diagnostics": [d.to_dict() for d in diagnostics],
         "summary": {s: sum(1 for d in diagnostics if d.severity == s)
                     for s in SEVERITIES},
@@ -180,13 +184,16 @@ def diagnostics_to_dict(diagnostics, source: str = "") -> dict:
     return bundle
 
 
-def diagnostics_to_json(diagnostics, source: str = "",
+def diagnostics_to_json(diagnostics: Iterable[Diagnostic],
+                        source: str = "",
                         indent: int | None = 2) -> str:
     """The bundle serialized as a JSON string."""
     return json.dumps(diagnostics_to_dict(diagnostics, source), indent=indent)
 
 
-def save_diagnostics(path, diagnostics, source: str = "") -> None:
+def save_diagnostics(path: str | pathlib.Path,
+                     diagnostics: Iterable[Diagnostic],
+                     source: str = "") -> None:
     """Write the bundle to ``path`` as JSON."""
     pathlib.Path(path).write_text(
         diagnostics_to_json(diagnostics, source) + "\n")

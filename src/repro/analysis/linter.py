@@ -30,6 +30,15 @@ each failed FinD entailment into a diagnostic naming the offending
 subformula, the unbounded variables, and a concrete fix (a bounding
 conjunct, or a :mod:`repro.finds.annotations` inverse annotation).
 
+The table above lists *diagnostic codes*, of which there are fourteen;
+the registry holds exactly **11 registered rules**
+(:data:`REGISTERED_RULE_CODES`): ``LN001``–``LN010`` plus one
+``EM``-family rule registered under ``EM001`` that emits the
+``EM001``–``EM003`` diagnostics.  ``LN000`` is not a registered rule:
+:func:`lint_source` emits it directly when the source text fails to
+parse, before any rule can run.  A regression test asserts the
+registry matches this documented set.
+
 ``DEFAULT_LINTER`` holds the built-in rules; build a :class:`Linter`
 with a subset (``DEFAULT_LINTER.without("LN004")``) or register custom
 rules with the ``@linter.rule(...)`` decorator.
@@ -64,15 +73,29 @@ from repro.core.terms import Const, Func, Term, Var, walk_term, \
     variables as term_variables
 from repro.errors import FormulaError, ParseError, SchemaError
 
+#: The shape every rule check callable has.
+LintCheck = Callable[["LintTarget"], Iterable[Diagnostic]]
+
 __all__ = [
     "LintTarget",
     "LintRule",
     "Linter",
     "DEFAULT_LINTER",
+    "REGISTERED_RULE_CODES",
     "lint_formula",
     "lint_query",
     "lint_source",
 ]
+
+#: The codes of the rules registered on :data:`DEFAULT_LINTER` — the
+#: documented "11 rules".  ``LN000`` (parse failure) is emitted by
+#: :func:`lint_source` directly and ``EM002``/``EM003`` by the rule
+#: registered as ``EM001``, so none of those three appear here.
+REGISTERED_RULE_CODES = (
+    "LN001", "LN002", "LN003", "LN004", "LN005",
+    "LN006", "LN007", "LN008", "LN009", "LN010",
+    "EM001",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,7 +127,7 @@ class LintRule:
     name: str
     severity: str
     description: str
-    check: Callable[[LintTarget], Iterable[Diagnostic]]
+    check: LintCheck
 
 
 class Linter:
@@ -121,7 +144,7 @@ class Linter:
             ...
     """
 
-    def __init__(self, rules: Iterable[LintRule] = ()):
+    def __init__(self, rules: Iterable[LintRule] = ()) -> None:
         self._rules: dict[str, LintRule] = {}
         for rule in rules:
             self.register(rule)
@@ -133,9 +156,9 @@ class Linter:
         return rule
 
     def rule(self, code: str, name: str, severity: str = WARNING,
-             description: str = ""):
+             description: str = "") -> Callable[[LintCheck], LintCheck]:
         """Decorator form of :meth:`register`."""
-        def decorate(fn: Callable[[LintTarget], Iterable[Diagnostic]]):
+        def decorate(fn: LintCheck) -> LintCheck:
             self.register(LintRule(code, name, severity,
                                    description or (fn.__doc__ or "").strip(),
                                    fn))
@@ -166,7 +189,7 @@ DEFAULT_LINTER = Linter()
 # ---------------------------------------------------------------------------
 
 @DEFAULT_LINTER.rule("LN001", "unknown-relation", ERROR)
-def _unknown_relation(target: LintTarget):
+def _unknown_relation(target: LintTarget) -> Iterator[Diagnostic]:
     """A relation atom names a relation the schema does not declare."""
     if target.schema is None:
         return
@@ -181,7 +204,7 @@ def _unknown_relation(target: LintTarget):
 
 
 @DEFAULT_LINTER.rule("LN002", "relation-arity-mismatch", ERROR)
-def _relation_arity(target: LintTarget):
+def _relation_arity(target: LintTarget) -> Iterator[Diagnostic]:
     """A relation atom's arity disagrees with its declaration."""
     if target.schema is None:
         return
@@ -198,17 +221,19 @@ def _relation_arity(target: LintTarget):
 
 
 @DEFAULT_LINTER.rule("LN003", "function-arity-mismatch", ERROR)
-def _function_signature(target: LintTarget):
+def _function_signature(target: LintTarget) -> Iterator[Diagnostic]:
     """A scalar function application disagrees with its signature."""
-    if target.schema is None:
+    schema = target.schema
+    if schema is None:
         return
 
-    def check_term(term: Term, path: str, context: str):
+    def check_term(term: Term, path: str,
+                   context: str) -> Iterator[Diagnostic]:
         for node in walk_term(term):
             if not isinstance(node, Func):
                 continue
-            if not target.schema.has_function(node.name):
-                if target.schema.has_relation(node.name):
+            if not schema.has_function(node.name):
+                if schema.has_relation(node.name):
                     yield Diagnostic(
                         "LN003", ERROR,
                         f"relation {node.name} used as a scalar function",
@@ -219,7 +244,7 @@ def _function_signature(target: LintTarget):
                         f"unknown function {node.name!r}",
                         path=path, subject=context)
             else:
-                sig = target.schema.function(node.name)
+                sig = schema.function(node.name)
                 if sig.arity != node.arity:
                     yield Diagnostic(
                         "LN003", ERROR,
@@ -242,7 +267,9 @@ def _function_signature(target: LintTarget):
 # Quantifier hygiene
 # ---------------------------------------------------------------------------
 
-def _walk_scoped(formula: Formula, path: str, scope: frozenset[str]):
+def _walk_scoped(
+        formula: Formula, path: str, scope: frozenset[str],
+) -> Iterator[tuple[str, Exists | Forall, frozenset[str]]]:
     """(path, subformula, names-in-scope) for every quantifier node."""
     if isinstance(formula, (Exists, Forall)):
         yield path, formula, scope
@@ -257,7 +284,7 @@ def _walk_scoped(formula: Formula, path: str, scope: frozenset[str]):
 
 
 @DEFAULT_LINTER.rule("LN004", "shadowed-variable", WARNING)
-def _shadowed(target: LintTarget):
+def _shadowed(target: LintTarget) -> Iterator[Diagnostic]:
     """A quantifier rebinds a name already bound (or free) in scope."""
     free = free_variables(target.body)
     for path, sub, scope in _walk_scoped(target.body, "body", frozenset(free)):
@@ -272,7 +299,7 @@ def _shadowed(target: LintTarget):
 
 
 @DEFAULT_LINTER.rule("LN005", "unused-quantified-variable", WARNING)
-def _unused_vars(target: LintTarget):
+def _unused_vars(target: LintTarget) -> Iterator[Diagnostic]:
     """A quantified variable never occurs free in the quantifier body."""
     for path, sub in subformulas_with_paths(target.body):
         if not isinstance(sub, (Exists, Forall)):
@@ -288,7 +315,7 @@ def _unused_vars(target: LintTarget):
 
 
 @DEFAULT_LINTER.rule("LN006", "vacuous-quantifier", WARNING)
-def _vacuous_quantifier(target: LintTarget):
+def _vacuous_quantifier(target: LintTarget) -> Iterator[Diagnostic]:
     """No variable the quantifier binds occurs in its body — the whole
     quantifier is a no-op."""
     for path, sub in subformulas_with_paths(target.body):
@@ -310,7 +337,7 @@ def _vacuous_quantifier(target: LintTarget):
 # ---------------------------------------------------------------------------
 
 @DEFAULT_LINTER.rule("LN007", "head-variable-not-free", ERROR)
-def _head_vars(target: LintTarget):
+def _head_vars(target: LintTarget) -> Iterator[Diagnostic]:
     """A head term mentions a variable that is not free in the body."""
     if target.head is None:
         return
@@ -331,12 +358,12 @@ def _head_vars(target: LintTarget):
 # Trivial and contradictory atoms
 # ---------------------------------------------------------------------------
 
-def _const_value(term: Term):
+def _const_value(term: Term) -> object | None:
     return term.value if isinstance(term, Const) else None
 
 
 @DEFAULT_LINTER.rule("LN008", "trivial-atom", WARNING)
-def _trivial_atoms(target: LintTarget):
+def _trivial_atoms(target: LintTarget) -> Iterator[Diagnostic]:
     """An atom is decidable without looking at any data."""
     # Equality atoms under a negation are reported once, at the ``!=``.
     negated = {id(sub.child) for _, sub in subformulas_with_paths(target.body)
@@ -375,7 +402,7 @@ def _trivial_atoms(target: LintTarget):
 class _UnionFind:
     """Tiny union-find with per-class constant values, for LN009."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.parent: dict[str, str] = {}
         self.value: dict[str, object] = {}
 
@@ -388,7 +415,7 @@ class _UnionFind:
             self.parent[name], name = root, self.parent[name]
         return root
 
-    def assign(self, name: str, value) -> object | None:
+    def assign(self, name: str, value: object) -> object | None:
         """Bind name's class to value; returns the clashing old value
         when the class already holds a different one."""
         root = self.find(name)
@@ -397,7 +424,7 @@ class _UnionFind:
         self.value[root] = value
         return None
 
-    def union(self, a: str, b: str) -> tuple | None:
+    def union(self, a: str, b: str) -> tuple[object, object] | None:
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return None
@@ -411,7 +438,7 @@ class _UnionFind:
 
 
 @DEFAULT_LINTER.rule("LN009", "contradictory-equalities", WARNING)
-def _contradictions(target: LintTarget):
+def _contradictions(target: LintTarget) -> Iterator[Diagnostic]:
     """The equality atoms of one conjunction pin a variable to two
     different constants — the conjunction is unsatisfiable."""
     for path, sub in subformulas_with_paths(target.body):
@@ -453,7 +480,7 @@ def _contradictions(target: LintTarget):
 
 
 @DEFAULT_LINTER.rule("LN010", "double-negation", WARNING)
-def _double_negation(target: LintTarget):
+def _double_negation(target: LintTarget) -> Iterator[Diagnostic]:
     """``~~phi`` (including ``~(t != t')``) simplifies away."""
     for path, sub in subformulas_with_paths(target.body):
         if isinstance(sub, Not) and isinstance(sub.child, Not):
@@ -475,7 +502,7 @@ def _double_negation(target: LintTarget):
 
 @DEFAULT_LINTER.rule("EM001", "em-allowed", ERROR,
                      "the query fails the em-allowed safety criterion")
-def _em_allowed(target: LintTarget):
+def _em_allowed(target: LintTarget) -> Iterator[Diagnostic]:
     from repro.safety.em_allowed import em_allowed_diagnostics
     yield from em_allowed_diagnostics(target.body,
                                       annotations=target.annotations)
@@ -486,7 +513,7 @@ def _em_allowed(target: LintTarget):
 # ---------------------------------------------------------------------------
 
 def lint_formula(formula: Formula, schema: DatabaseSchema | None = None,
-                 annotations=None,
+                 annotations: object = None,
                  linter: Linter | None = None) -> list[Diagnostic]:
     """Lint a bare formula (no head)."""
     linter = linter or DEFAULT_LINTER
@@ -494,7 +521,7 @@ def lint_formula(formula: Formula, schema: DatabaseSchema | None = None,
 
 
 def lint_query(query: CalculusQuery, schema: DatabaseSchema | None = None,
-               annotations=None,
+               annotations: object = None,
                linter: Linter | None = None) -> list[Diagnostic]:
     """Lint a constructed query (head + body)."""
     linter = linter or DEFAULT_LINTER
@@ -502,7 +529,7 @@ def lint_query(query: CalculusQuery, schema: DatabaseSchema | None = None,
 
 
 def lint_source(text: str, schema: DatabaseSchema | None = None,
-                annotations=None,
+                annotations: object = None,
                 linter: Linter | None = None) -> list[Diagnostic]:
     """Parse and lint query source text.
 

@@ -12,6 +12,13 @@ Commands:
   diagnostics; ``--json [OUT]`` exports the diagnostics bundle;
 * ``translate 'QUERY'``            — run the four-step translation and print
   the ENF formula, the transformation trace, and the algebra plan;
+* ``typecheck 'QUERY'``            — translate, then run the plan type
+  inferencer (:mod:`repro.analysis.typeinfer`): the typed operator tree
+  (per-column value types, nullability, constants, keys), the ``term_k``
+  finiteness certificate, and the ``TY0xx`` diagnostics; with ``--data``
+  the optimizer also runs and every recorded rewrite step is certified
+  by the translation validator (:mod:`repro.analysis.validate`,
+  ``TV0xx``); ``--json [OUT]`` exports the report;
 * ``run 'QUERY' --data FILE``      — translate and execute against a JSON
   instance (see :mod:`repro.data.io`); scalar functions come from
   ``--functions mod.py`` (a Python file defining ``FUNCTIONS = {...}``)
@@ -182,6 +189,89 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     if args.explain:
         print(explain(result.plan))
     return 0
+
+
+def _cmd_typecheck(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import (
+        diagnostics_to_dict,
+        has_errors,
+        render_diagnostics,
+        sort_diagnostics,
+    )
+    from repro.analysis.typeinfer import infer_plan_types, render_typed_plan
+    from repro.analysis.validate import validate_rewrites
+
+    query = parse_query(args.query)
+    try:
+        result = translate_query(query)
+    except NotEmAllowedError as err:
+        print(f"refused: {err}", file=sys.stderr)
+        return 1
+    schema = result.schema
+    catalog = {decl.name: decl.arity for decl in schema.relations}
+    plan = result.plan
+    diagnostics = []
+    rewrite_note = None
+    if args.data:
+        from repro.engine.caches import stats_for
+        from repro.engine.rewrite import optimize_plan
+
+        instance = _load_data(args.data)
+        try:
+            outcome = optimize_plan(plan, stats_for(instance), catalog,
+                                    verify=False, schema=schema)
+        except EvaluationError as err:
+            rewrite_note = f"optimizer skipped ({err})"
+        else:
+            diagnostics.extend(validate_rewrites(
+                plan, outcome.plan, outcome.steps, outcome.shared,
+                catalog, schema))
+            plan = outcome.plan
+            rewrite_note = (f"{len(outcome.steps)} rewrite step(s) "
+                            "validated")
+    types = infer_plan_types(plan, catalog, schema)
+    diagnostics.extend(types.diagnostics)
+    diagnostics = sort_diagnostics(diagnostics)
+    certificate = types.root.certificate()
+
+    if args.json is not None:
+        import json as _json
+        payload = _json.dumps({
+            "query": str(query),
+            "arity": types.root.arity,
+            "columns": [c.describe() for c in types.root.columns],
+            "certificate": str(certificate),
+            "function_depth": certificate.k,
+            "rewrites": rewrite_note,
+            "diagnostics": diagnostics_to_dict(diagnostics,
+                                               source=args.query),
+        }, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.json, "w") as handle:
+                    handle.write(payload + "\n")
+            except OSError as err:
+                reason = err.strerror or str(err)
+                raise _DataFileError(
+                    f"cannot write typecheck report to {args.json!r}: "
+                    f"{reason}",
+                    hint="--json expects a writable output path") from None
+            print(f"typecheck report written to {args.json}")
+    else:
+        print(f"query: {query}")
+        print(f"result columns: {types.root.describe()}")
+        print(f"finiteness: every output value lies in {certificate}")
+        if rewrite_note is not None:
+            print(f"rewrites: {rewrite_note}")
+        print()
+        print(render_typed_plan(plan, types))
+        print()
+        print(render_diagnostics(diagnostics, source=args.query))
+    if has_errors(diagnostics):
+        return 2
+    return 1 if diagnostics else 0
 
 
 def _load_functions(path: str | None, schema) -> Interpretation:
@@ -442,6 +532,20 @@ def build_parser() -> argparse.ArgumentParser:
     translate.add_argument("--explain", action="store_true",
                            help="print the operator tree")
     translate.set_defaults(fn=_cmd_translate)
+
+    typecheck = sub.add_parser(
+        "typecheck",
+        help="infer per-column plan types (value types, nullability, "
+             "keys, term_k finiteness certificate); with --data also "
+             "validate every optimizer rewrite")
+    typecheck.add_argument("query")
+    typecheck.add_argument("--data", default=None,
+                           help="instance JSON file: run the cost-based "
+                                "optimizer and certify its rewrite steps")
+    typecheck.add_argument("--json", nargs="?", const="-", metavar="OUT",
+                           help="emit the typecheck report as JSON to OUT "
+                                "(or stdout when no path is given)")
+    typecheck.set_defaults(fn=_cmd_typecheck)
 
     run = sub.add_parser("run", help="translate and execute against a JSON instance")
     run.add_argument("query")

@@ -33,6 +33,11 @@ class RelationSchema:
     name: str
     arity: int
     columns: tuple[str, ...] = ()
+    #: Optional per-column value types ("int", "str", ...; "any" =
+    #: unknown), consumed by the plan type inferencer
+    #: (:mod:`repro.analysis.typeinfer`).  Purely advisory: evaluation
+    #: never checks them.
+    types: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -42,6 +47,10 @@ class RelationSchema:
         if self.columns and len(self.columns) != self.arity:
             raise SchemaError(
                 f"relation {self.name}: {len(self.columns)} column names for arity {self.arity}"
+            )
+        if self.types and len(self.types) != self.arity:
+            raise SchemaError(
+                f"relation {self.name}: {len(self.types)} column types for arity {self.arity}"
             )
 
     def __str__(self) -> str:
@@ -63,6 +72,12 @@ class FunctionSignature:
     name: str
     arity: int
     total: bool = True
+    #: Optional declared return type ("any" = unknown); advisory, used
+    #: by :mod:`repro.analysis.typeinfer` only.
+    returns: str = "any"
+    #: Optional declared argument types; shorter tuples leave trailing
+    #: arguments untyped.
+    arg_types: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -70,6 +85,11 @@ class FunctionSignature:
         if self.arity < 1:
             raise SchemaError(
                 f"function {self.name}: arity must be >= 1 (use constants for arity 0)"
+            )
+        if len(self.arg_types) > self.arity:
+            raise SchemaError(
+                f"function {self.name}: {len(self.arg_types)} argument types "
+                f"for arity {self.arity}"
             )
 
     def __str__(self) -> str:

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 
 from repro.algebra.ast import AlgebraExpr, Rel, walk_algebra
+from repro.analysis.typeinfer import infer_plan_types
 from repro.core.schema import DatabaseSchema
 from repro.data.instance import Instance
 from repro.data.interpretation import Interpretation
@@ -45,6 +46,12 @@ class RunReport:
     rewrites: tuple[RewriteStep, ...] = ()
     #: Time spent in the logical rewrite pass (0.0 when disabled).
     optimize_seconds: float = 0.0
+    #: Why the optimizer fell back to the translated plan ("" = no
+    #: fallback happened).
+    optimizer_error: str = ""
+    #: The rewrites the failed optimizer run had applied before the
+    #: error — the trail that used to be silently discarded.
+    failed_rewrites: tuple[RewriteStep, ...] = ()
 
     @property
     def intermediate_rows(self) -> int:
@@ -61,6 +68,10 @@ class RunReport:
         if self.rewrites:
             text += (f"; {len(self.rewrites)} rewrite(s) in "
                      f"{self.optimize_seconds * 1e3:.2f} ms")
+        if self.optimizer_error:
+            text += (f"; optimizer fell back after "
+                     f"{len(self.failed_rewrites)} rewrite(s): "
+                     f"{self.optimizer_error}")
         return text
 
 
@@ -111,26 +122,39 @@ def execute(expr: AlgebraExpr, instance: Instance,
     interpretation.reset_counts()
     counters = OpCounters()
     plan = expr
+    catalog = plan_catalog(expr, instance, schema)
     rewrites: tuple[RewriteStep, ...] = ()
     shared: frozenset | None = None
     optimize_elapsed = 0.0
+    optimizer_error = ""
+    failed_rewrites: tuple[RewriteStep, ...] = ()
     if optimize_enabled(optimize):
         start = time.perf_counter()
         try:
-            outcome = optimize_plan(plan, stats_for(instance),
-                                    plan_catalog(expr, instance, schema))
+            outcome = optimize_plan(plan, stats_for(instance), catalog,
+                                    schema=schema)
         except PlanInvariantError:
             raise
-        except EvaluationError:
-            outcome = None  # un-typable plan: run it as translated
+        except EvaluationError as err:
+            # un-typable plan: run it as translated, but keep the
+            # evidence — the error and the rewrites applied so far.
+            outcome = None
+            optimizer_error = f"{type(err).__name__}: {err}"
+            failed_rewrites = tuple(getattr(err, "rewrite_steps", ()))
         optimize_elapsed = time.perf_counter() - start
         if outcome is not None:
             plan = outcome.plan
             rewrites = outcome.steps
             shared = outcome.shared or None
+    plan_types = None
+    if profile is not None:
+        try:
+            plan_types = infer_plan_types(plan, catalog, schema)
+        except EvaluationError:
+            plan_types = None  # un-typable plan: profile without facts
     physical = build_physical_plan(plan, instance, interpretation, schema,
                                    counters, profile, batch_size=batch_size,
-                                   shared=shared)
+                                   shared=shared, plan_types=plan_types)
     start = time.perf_counter()
     rows: set[tuple] = set()
     while (batch := physical.next_batch()) is not None:
@@ -149,4 +173,6 @@ def execute(expr: AlgebraExpr, instance: Instance,
         profile=profile,
         rewrites=rewrites,
         optimize_seconds=optimize_elapsed,
+        optimizer_error=optimizer_error,
+        failed_rewrites=failed_rewrites,
     )

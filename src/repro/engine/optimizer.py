@@ -117,8 +117,10 @@ def choose_build_sides(expr: AlgebraExpr, stats: InstanceStats,
     """Swap join inputs so the estimated-smaller side is the build
     (right) side.  Output evaluates identically to the input.
 
-    ``steps`` (a list, when given) receives one human-readable entry per
-    swap performed — the rewrite-trace hook of the optimizer pass.
+    ``steps`` (a list, when given) receives one ``(detail, before,
+    after)`` triple per swap performed — the rewrite-trace hook of the
+    optimizer pass, which turns each into a validated
+    :class:`~repro.engine.rewrite.RewriteStep`.
     """
 
     def go(node: AlgebraExpr) -> AlgebraExpr:
@@ -156,11 +158,13 @@ def choose_build_sides(expr: AlgebraExpr, stats: InstanceStats,
             if left_rows < right_rows:
                 left_arity = arity_of(left, catalog)
                 right_arity = arity_of(right, catalog)
+                swapped = _swap_join(rebuilt, left_arity, right_arity)
                 if steps is not None:
-                    steps.append(
+                    steps.append((
                         f"build-side swap: est left {left_rows:.0f} < "
-                        f"est right {right_rows:.0f} rows")
-                return _swap_join(rebuilt, left_arity, right_arity)
+                        f"est right {right_rows:.0f} rows",
+                        rebuilt, swapped))
+                return swapped
             return rebuilt
         return node
 

@@ -103,7 +103,8 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
                         counters: OpCounters | None = None,
                         profile: ExecutionProfile | None = None,
                         batch_size: int | None = None,
-                        shared: frozenset | None = None) -> PhysicalOp:
+                        shared: frozenset | None = None,
+                        plan_types=None) -> PhysicalOp:
     """Compile an algebra expression into an executable operator tree.
 
     ``batch_size`` sets the rows-per-batch of every source operator in
@@ -123,6 +124,11 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
     children's elapsed time separately, so ``EXPLAIN ANALYZE`` can show
     per-node self time; without it, the tree is built exactly as before
     (no wrappers, no overhead).
+
+    ``plan_types`` (a :class:`~repro.analysis.typeinfer.PlanTypes` for
+    ``expr``) stamps each profiled operator with the inferred column
+    facts of its originating algebra node — the ``::`` lines of
+    ``EXPLAIN ANALYZE``.  Ignored without ``profile``.
     """
     if counters is None:
         counters = OpCounters()
@@ -141,8 +147,13 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
                             if isinstance(c, ProfiledOp))
         child_ids = tuple(s.op_id for s in child_stats)
         _logical, detail = algebra_label(node)
+        facts = ""
+        if plan_types is not None:
+            node_facts = plan_types.facts.get(node)
+            if node_facts is not None:
+                facts = node_facts.describe()
         stats = profile.register(label, detail, algebra_node=node,
-                                 children=child_ids)
+                                 children=child_ids, typed_facts=facts)
         return ProfiledOp(op, stats, child_stats)
 
     shared_builds: dict[AlgebraExpr, SharedSubplan] = {}

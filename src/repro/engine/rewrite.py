@@ -48,13 +48,14 @@ from __future__ import annotations
 import os
 from collections import Counter
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.algebra.ast import (
     AdomK,
     AlgebraExpr,
     CConst,
     Col,
+    ColExpr,
     Condition,
     Diff,
     Enumerate,
@@ -70,6 +71,8 @@ from repro.algebra.ast import (
 )
 from repro.algebra.simplifier import simplify
 from repro.analysis.sanitizer import check_plan, verify_plans_enabled
+from repro.analysis.validate import check_rewrites
+from repro.core.schema import DatabaseSchema
 from repro.engine.optimizer import (
     _shift_colexpr,
     choose_build_sides,
@@ -77,6 +80,7 @@ from repro.engine.optimizer import (
     rebuild_anti_join,
 )
 from repro.engine.stats import InstanceStats, estimate_cardinality
+from repro.errors import EvaluationError
 
 __all__ = [
     "RewriteStep",
@@ -104,10 +108,22 @@ def optimize_enabled(override: bool | None = None) -> bool:
 
 @dataclass(frozen=True, slots=True)
 class RewriteStep:
-    """One applied rewrite, for the trace / EXPLAIN output."""
+    """One applied rewrite, for the trace / EXPLAIN output — and for
+    the translation validator (:mod:`repro.analysis.validate`), which
+    replays each step's soundness obligation from its payload.
+
+    ``before`` is the redex (rebuilt over already-rewritten children),
+    ``after`` its replacement; ``data`` carries rule-specific evidence
+    (for ``fold-const``: the decided condition and the decision).  All
+    three default empty so bare ``RewriteStep(rule, detail)`` values —
+    and their rendering — are unchanged.
+    """
 
     rule: str
     detail: str
+    before: AlgebraExpr | None = None
+    after: AlgebraExpr | None = None
+    data: tuple[object, ...] = ()
 
     def __str__(self) -> str:
         return f"{self.rule}: {self.detail}"
@@ -120,7 +136,7 @@ class OptimizationResult:
     plan: AlgebraExpr
     steps: tuple[RewriteStep, ...]
     #: Structurally repeated subplans the planner should compute once.
-    shared: frozenset
+    shared: frozenset[AlgebraExpr]
 
 
 # ---------------------------------------------------------------------------
@@ -135,7 +151,9 @@ def _empty(arity: int) -> Lit:
     return Lit(arity, frozenset())
 
 
-def _fold_conds(conds, steps: list) -> tuple[frozenset, bool]:
+def _fold_conds(conds: Iterable[Condition],
+                steps: list[RewriteStep],
+                ) -> tuple[frozenset[Condition], bool]:
     """Decide every const-vs-const condition.  Returns the remaining
     conditions and whether any condition is statically false."""
     remaining = []
@@ -143,10 +161,12 @@ def _fold_conds(conds, steps: list) -> tuple[frozenset, bool]:
         if isinstance(cond.left, CConst) and isinstance(cond.right, CConst):
             if compare_values(cond.op, cond.left.value, cond.right.value):
                 steps.append(RewriteStep(
-                    "fold-const", f"dropped tautology {cond}"))
+                    "fold-const", f"dropped tautology {cond}",
+                    data=(cond, True)))
             else:
                 steps.append(RewriteStep(
-                    "fold-const", f"{cond} is statically false"))
+                    "fold-const", f"{cond} is statically false",
+                    data=(cond, False)))
                 return frozenset(), True
         else:
             remaining.append(cond)
@@ -154,51 +174,59 @@ def _fold_conds(conds, steps: list) -> tuple[frozenset, bool]:
 
 
 def _fold_constants(expr: AlgebraExpr, catalog: Mapping[str, int],
-                    steps: list) -> AlgebraExpr:
-    def empty_step(what: str) -> None:
-        steps.append(RewriteStep("fold-empty", what))
+                    steps: list[RewriteStep]) -> AlgebraExpr:
+    def empty_step(what: str, before: AlgebraExpr,
+                   after: AlgebraExpr) -> AlgebraExpr:
+        steps.append(RewriteStep("fold-empty", what, before=before,
+                                 after=after))
+        return after
 
     def go(node: AlgebraExpr) -> AlgebraExpr:
         if isinstance(node, Select):
             child = go(node.child)
             conds, false = _fold_conds(node.conds, steps)
             if false or _is_empty(child):
-                return _empty(arity_of(child, catalog))
+                return empty_step("selection can never pass",
+                                  Select(node.conds, child),
+                                  _empty(arity_of(child, catalog)))
             if not conds:
                 return child
             return Select(conds, child)
         if isinstance(node, Project):
             child = go(node.child)
             if _is_empty(child):
-                empty_step("projection over empty input")
-                return _empty(len(node.exprs))
+                return empty_step("projection over empty input",
+                                  Project(node.exprs, child),
+                                  _empty(len(node.exprs)))
             return Project(node.exprs, child)
         if isinstance(node, Join):
             left, right = go(node.left), go(node.right)
             conds, false = _fold_conds(node.conds, steps)
             width = arity_of(left, catalog) + arity_of(right, catalog)
             if false or _is_empty(left) or _is_empty(right):
-                if not false:
-                    empty_step("join with an empty input")
-                return _empty(width)
+                return empty_step(
+                    "join can never produce a row",
+                    Join(node.conds, left, right), _empty(width))
             if not conds:
                 return Product(left, right)
             return Join(conds, left, right)
         if isinstance(node, Product):
             left, right = go(node.left), go(node.right)
             if _is_empty(left) or _is_empty(right):
-                empty_step("product with an empty input")
-                return _empty(arity_of(left, catalog)
-                              + arity_of(right, catalog))
+                return empty_step(
+                    "product with an empty input",
+                    Product(left, right),
+                    _empty(arity_of(left, catalog)
+                           + arity_of(right, catalog)))
             return Product(left, right)
         if isinstance(node, Union):
             left, right = go(node.left), go(node.right)
             if _is_empty(left):
-                empty_step("union with an empty input")
-                return right
+                return empty_step("union with an empty input",
+                                  Union(left, right), right)
             if _is_empty(right):
-                empty_step("union with an empty input")
-                return left
+                return empty_step("union with an empty input",
+                                  Union(left, right), left)
             return Union(left, right)
         if isinstance(node, Diff):
             anti = match_anti_join(node)
@@ -206,25 +234,34 @@ def _fold_constants(expr: AlgebraExpr, catalog: Mapping[str, int],
                 conds0, context, excluded = anti
                 new_context = go(context)
                 new_excluded = go(excluded)
+                redex = rebuild_anti_join(conds0, new_context, new_excluded,
+                                          arity_of(new_context, catalog))
                 if _is_empty(new_context):
-                    return new_context
+                    return empty_step("anti-join over empty context",
+                                      redex, new_context)
                 conds, false = _fold_conds(conds0, steps)
                 if false or _is_empty(new_excluded):
                     # nothing can ever match: the difference keeps all
-                    return new_context
+                    return empty_step("anti-join excludes nothing",
+                                      redex, new_context)
                 return rebuild_anti_join(conds, new_context, new_excluded,
                                          arity_of(new_context, catalog))
             left, right = go(node.left), go(node.right)
             if _is_empty(left) or _is_empty(right):
                 if _is_empty(right):
-                    empty_step("difference of nothing")
-                return left
+                    return empty_step("difference of nothing",
+                                      Diff(left, right), left)
+                return empty_step("difference over empty input",
+                                  Diff(left, right), left)
             return Diff(left, right)
         if isinstance(node, Enumerate):
             child = go(node.child)
             if _is_empty(child):
-                empty_step("enumeration over empty input")
-                return _empty(arity_of(child, catalog) + node.out_count)
+                return empty_step(
+                    "enumeration over empty input",
+                    Enumerate(node.enumerator, node.inputs, node.out_count,
+                              child),
+                    _empty(arity_of(child, catalog) + node.out_count))
             return Enumerate(node.enumerator, node.inputs, node.out_count,
                              child)
         return node  # Rel, Lit, Params, AdomK
@@ -236,8 +273,9 @@ def _fold_constants(expr: AlgebraExpr, catalog: Mapping[str, int],
 # 2. Selection / projection pushdown
 # ---------------------------------------------------------------------------
 
-def _prune_join_columns(exprs, child, catalog: Mapping[str, int],
-                        steps: list) -> AlgebraExpr | None:
+def _prune_join_columns(exprs: Sequence[ColExpr], child: Join | Product,
+                        catalog: Mapping[str, int],
+                        steps: list[RewriteStep]) -> AlgebraExpr | None:
     """Dead-column elimination below ``Project(exprs, Join/Product)``.
 
     Columns referenced by neither the projection nor the join
@@ -277,53 +315,65 @@ def _prune_join_columns(exprs, child, catalog: Mapping[str, int],
         for c in conds
     )
     dropped = left_arity + right_arity - len(keep_left) - len(keep_right)
-    steps.append(RewriteStep(
-        "pushdown-project",
-        f"pruned {dropped} dead column(s) below "
-        f"{'join' if isinstance(child, Join) else 'product'}"))
     new_child = (Join(new_conds, new_left, new_right)
                  if isinstance(child, Join)
                  else Product(new_left, new_right))
-    return Project(tuple(_shift_colexpr(e, remap) for e in exprs), new_child)
+    result = Project(tuple(_shift_colexpr(e, remap) for e in exprs),
+                     new_child)
+    steps.append(RewriteStep(
+        "pushdown-project",
+        f"pruned {dropped} dead column(s) below "
+        f"{'join' if isinstance(child, Join) else 'product'}",
+        before=Project(tuple(exprs), child), after=result))
+    return result
 
 
 def _pushdown(expr: AlgebraExpr, catalog: Mapping[str, int],
-              steps: list) -> AlgebraExpr:
+              steps: list[RewriteStep]) -> AlgebraExpr:
     def go(node: AlgebraExpr) -> AlgebraExpr:
         if isinstance(node, Select):
             child = go(node.child)
+            redex = Select(node.conds, child)
             if isinstance(child, Union):
+                result = Union(Select(node.conds, child.left),
+                               Select(node.conds, child.right))
                 steps.append(RewriteStep(
-                    "pushdown-select", "selection through union"))
-                return Union(Select(node.conds, child.left),
-                             Select(node.conds, child.right))
+                    "pushdown-select", "selection through union",
+                    before=redex, after=result))
+                return result
             if isinstance(child, Diff):
                 anti = match_anti_join(child)
                 if anti is not None:
                     conds, context, excluded = anti
-                    steps.append(RewriteStep(
-                        "pushdown-select", "selection into anti-join input"))
-                    return rebuild_anti_join(
+                    result = rebuild_anti_join(
                         conds, Select(node.conds, context), excluded,
                         arity_of(context, catalog))
+                    steps.append(RewriteStep(
+                        "pushdown-select", "selection into anti-join input",
+                        before=redex, after=result))
+                    return result
+                result = Diff(Select(node.conds, child.left), child.right)
                 steps.append(RewriteStep(
-                    "pushdown-select", "selection into difference input"))
-                return Diff(Select(node.conds, child.left), child.right)
+                    "pushdown-select", "selection into difference input",
+                    before=redex, after=result))
+                return result
             if isinstance(child, Enumerate):
                 inner_arity = arity_of(child.child, catalog)
                 inside = frozenset(
                     c for c in node.conds
                     if all(i <= inner_arity for i in c.columns()))
                 if inside:
-                    steps.append(RewriteStep(
-                        "pushdown-select",
-                        f"{len(inside)} condition(s) below enumerate"))
                     outside = node.conds - inside
                     pushed = Enumerate(child.enumerator, child.inputs,
                                        child.out_count,
                                        Select(inside, child.child))
-                    return Select(outside, pushed) if outside else pushed
-            return Select(node.conds, child)
+                    result = Select(outside, pushed) if outside else pushed
+                    steps.append(RewriteStep(
+                        "pushdown-select",
+                        f"{len(inside)} condition(s) below enumerate",
+                        before=redex, after=result))
+                    return result
+            return redex
         if isinstance(node, Join):
             left, right = go(node.left), go(node.right)
             left_arity = arity_of(left, catalog)
@@ -341,24 +391,27 @@ def _pushdown(expr: AlgebraExpr, catalog: Mapping[str, int],
                     keep.append(c)
             if not push_left and not push_right:
                 return Join(node.conds, left, right)
-            steps.append(RewriteStep(
-                "pushdown-select",
-                f"{len(push_left) + len(push_right)} condition(s) "
-                "below join"))
+            redex = Join(node.conds, left, right)
             if push_left:
                 left = Select(frozenset(push_left), left)
             if push_right:
                 right = Select(frozenset(push_right), right)
-            if keep:
-                return Join(frozenset(keep), left, right)
-            return Product(left, right)
+            result = (Join(frozenset(keep), left, right) if keep
+                      else Product(left, right))
+            steps.append(RewriteStep(
+                "pushdown-select",
+                f"{len(push_left) + len(push_right)} condition(s) "
+                "below join", before=redex, after=result))
+            return result
         if isinstance(node, Project):
             child = go(node.child)
             if isinstance(child, Union):
+                result = Union(Project(node.exprs, child.left),
+                               Project(node.exprs, child.right))
                 steps.append(RewriteStep(
-                    "pushdown-project", "projection through union"))
-                return Union(Project(node.exprs, child.left),
-                             Project(node.exprs, child.right))
+                    "pushdown-project", "projection through union",
+                    before=Project(node.exprs, child), after=result))
+                return result
             if isinstance(child, (Join, Product)):
                 pruned = _prune_join_columns(node.exprs, child, catalog,
                                              steps)
@@ -400,7 +453,9 @@ def _region_projection(n: AlgebraExpr) -> bool:
             and isinstance(n.child, (Join, Product, Project)))
 
 
-def _flatten_region(node: AlgebraExpr, catalog: Mapping[str, int]):
+def _flatten_region(
+        node: AlgebraExpr, catalog: Mapping[str, int],
+) -> tuple[list[AlgebraExpr], list[Condition], tuple[int, ...]]:
     """Flatten a maximal Join/Product region into its non-join leaves,
     all conditions in region coordinates (the concatenation of the
     leaves' columns), and the region's output columns as a tuple of
@@ -410,7 +465,7 @@ def _flatten_region(node: AlgebraExpr, catalog: Mapping[str, int]):
     conds: list[Condition] = []
     next_col = 0
 
-    def walk(n: AlgebraExpr) -> tuple:
+    def walk(n: AlgebraExpr) -> tuple[int, ...]:
         nonlocal next_col
         if isinstance(n, (Join, Product)):
             out = walk(n.left) + walk(n.right)
@@ -434,7 +489,8 @@ def _flatten_region(node: AlgebraExpr, catalog: Mapping[str, int]):
     return leaves, conds, outcols
 
 
-def _rebuild_region(node: AlgebraExpr, leaf_iter) -> AlgebraExpr:
+def _rebuild_region(node: AlgebraExpr,
+                    leaf_iter: Iterator[AlgebraExpr]) -> AlgebraExpr:
     """Rebuild the original region shape around rewritten leaves
     (mirrors :func:`_flatten_region`'s traversal order)."""
     if isinstance(node, (Join, Product)):
@@ -448,8 +504,13 @@ def _rebuild_region(node: AlgebraExpr, leaf_iter) -> AlgebraExpr:
     return next(leaf_iter)
 
 
-def _greedy_join_order(leaves, conds, outcols, stats: InstanceStats,
-                       catalog: Mapping[str, int], steps: list):
+def _greedy_join_order(leaves: Sequence[AlgebraExpr],
+                       conds: Sequence[Condition],
+                       outcols: Sequence[int], stats: InstanceStats,
+                       catalog: Mapping[str, int],
+                       steps: list[RewriteStep],
+                       region_before: AlgebraExpr | None = None,
+                       ) -> AlgebraExpr:
     """Left-deep greedy order: start from the estimated-smallest leaf,
     extend with the estimated-cheapest join, preferring connected
     extensions; every condition attaches at the earliest join where all
@@ -521,14 +582,16 @@ def _greedy_join_order(leaves, conds, outcols, stats: InstanceStats,
         for k in usable:
             applied[k] = True
 
+    restore = tuple(Col(col_map[g]) for g in outcols)
+    result = Project(restore, current)
     if order != sorted(order):
         steps.append(RewriteStep(
             "join-reorder",
             f"{len(leaves)}-way region evaluated in leaf order "
             f"{order} (estimated rows: "
-            f"{', '.join(f'{e:.0f}' for e in estimates)})"))
-    restore = tuple(Col(col_map[g]) for g in outcols)
-    return Project(restore, current)
+            f"{', '.join(f'{e:.0f}' for e in estimates)})",
+            before=region_before, after=result))
+    return result
 
 
 def _reorder_joins(expr: AlgebraExpr, stats: InstanceStats,
@@ -538,8 +601,9 @@ def _reorder_joins(expr: AlgebraExpr, stats: InstanceStats,
             leaves, conds, outcols = _flatten_region(node, catalog)
             new_leaves = [go(leaf) for leaf in leaves]
             if len(new_leaves) >= 3:
+                region_before = _rebuild_region(node, iter(new_leaves))
                 return _greedy_join_order(new_leaves, conds, outcols, stats,
-                                          catalog, steps)
+                                          catalog, steps, region_before)
             return _rebuild_region(node, iter(new_leaves))
         if isinstance(node, Project):
             return Project(node.exprs, go(node.child))
@@ -575,7 +639,7 @@ def _cse_eligible(node: AlgebraExpr) -> bool:
                              Product, Enumerate))
 
 
-def shared_subplans(plan: AlgebraExpr) -> frozenset:
+def shared_subplans(plan: AlgebraExpr) -> frozenset[AlgebraExpr]:
     """Structurally repeated subplans worth computing once.
 
     Occurrences *inside* an already-repeated subplan are not counted
@@ -613,7 +677,8 @@ def shared_subplans(plan: AlgebraExpr) -> frozenset:
 
 def optimize_plan(expr: AlgebraExpr, stats: InstanceStats,
                   catalog: Mapping[str, int],
-                  verify: bool | None = None) -> OptimizationResult:
+                  verify: bool | None = None,
+                  schema: DatabaseSchema | None = None) -> OptimizationResult:
     """Run the full rewrite pipeline over ``expr``.
 
     Order: constant folding, then pushdown alternated with the
@@ -621,30 +686,51 @@ def optimize_plan(expr: AlgebraExpr, stats: InstanceStats,
     build-side selection, then shared-subplan detection.  The result
     evaluates to exactly the same relation as the input (property-
     tested against both the unoptimized plan and the reference
-    calculus evaluator).
+    calculus evaluator, and — under ``verify``, which defers to the
+    same module-wide default as the plan sanitizer — *certified* per
+    run by the translation validator,
+    :mod:`repro.analysis.validate`: every recorded step's obligation
+    is replayed and :class:`~repro.errors.RewriteValidationError`
+    raised on any violation).  ``schema``, when given, feeds declared
+    column types and function signatures to the validator's
+    column-fact refinement check.
+
+    If the pipeline itself fails with an
+    :class:`~repro.errors.EvaluationError` (an un-typable plan), the
+    steps recorded up to that point are attached to the exception as
+    ``rewrite_steps`` so callers falling back to the unoptimized plan
+    can report what was attempted.
     """
     steps: list[RewriteStep] = []
-    plan = _fold_constants(expr, catalog, steps)
-    plan = simplify(plan, catalog)
-    # Reorder before pushdown: the simplifier has merged selections
-    # into the join nodes, so Join/Product regions are maximal here —
-    # column pruning below would interpose projections and split them.
-    plan = simplify(_reorder_joins(plan, stats, catalog, steps), catalog)
-    for _ in range(MAX_PUSHDOWN_ROUNDS):
-        round_steps: list[RewriteStep] = []
-        candidate = simplify(_pushdown(plan, catalog, round_steps), catalog)
-        if candidate == plan:
-            break
-        plan = candidate
-        steps.extend(round_steps)
-    swaps: list[str] = []
-    plan = choose_build_sides(plan, stats, catalog, swaps)
-    steps.extend(RewriteStep("build-side", s) for s in swaps)
-    shared = shared_subplans(plan)
-    if shared:
-        steps.append(RewriteStep(
-            "cse", f"{len(shared)} repeated subplan(s) computed once"))
+    try:
+        plan = _fold_constants(expr, catalog, steps)
+        plan = simplify(plan, catalog)
+        # Reorder before pushdown: the simplifier has merged selections
+        # into the join nodes, so Join/Product regions are maximal here —
+        # column pruning below would interpose projections and split them.
+        plan = simplify(_reorder_joins(plan, stats, catalog, steps), catalog)
+        for _ in range(MAX_PUSHDOWN_ROUNDS):
+            round_steps: list[RewriteStep] = []
+            candidate = simplify(_pushdown(plan, catalog, round_steps),
+                                 catalog)
+            if candidate == plan:
+                break
+            plan = candidate
+            steps.extend(round_steps)
+        swaps: list[tuple] = []
+        plan = choose_build_sides(plan, stats, catalog, swaps)
+        steps.extend(RewriteStep("build-side", detail, before=b, after=a)
+                     for detail, b, a in swaps)
+        shared = shared_subplans(plan)
+        if shared:
+            steps.append(RewriteStep(
+                "cse", f"{len(shared)} repeated subplan(s) computed once"))
+    except EvaluationError as err:
+        err.rewrite_steps = tuple(steps)
+        raise
     if verify_plans_enabled(verify):
         check_plan(plan, catalog, phase="optimize",
                    expected_arity=arity_of(expr, catalog))
+        check_rewrites(expr, plan, steps, shared, catalog, schema=schema,
+                       phase="optimize")
     return OptimizationResult(plan, tuple(steps), shared)

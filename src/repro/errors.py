@@ -171,6 +171,18 @@ class PlanInvariantError(TranslationError):
         super().__init__(message)
 
 
+class RewriteValidationError(PlanInvariantError):
+    """The translation validator refused an optimizer rewrite.
+
+    Raised by :func:`repro.analysis.validate.check_rewrites` when a
+    recorded :class:`~repro.engine.rewrite.RewriteStep` fails its
+    per-rule soundness obligation or the rewrite pass as a whole
+    violates a global one (root arity, relation provenance, column-fact
+    refinement).  The ``diagnostics`` attribute carries the ``TV0xx``
+    findings naming the offending rule and node.
+    """
+
+
 class EvaluationError(ReproError):
     """Evaluation of a calculus or algebra query failed.
 

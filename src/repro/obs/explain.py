@@ -7,7 +7,11 @@ node's *estimated* cardinality (from
 rows produced, the invocation count, the cumulative elapsed time, and
 the node's **self** time (cumulative minus the children's share — the
 number that localizes a slow operator) — the shape of PostgreSQL's
-``EXPLAIN ANALYZE``.
+``EXPLAIN ANALYZE``.  With ``types=True`` (the default) each node also
+carries a ``:: [...]`` line showing the column facts the plan type
+inferencer (:mod:`repro.analysis.typeinfer`) derived for it — value
+types, nullability, constants, keys, and the ``term_k`` finiteness
+certificate — when the executor supplied them.
 :func:`q_error_summary` aggregates estimation quality per operator
 class.
 """
@@ -39,8 +43,11 @@ def _node_line(stats: OperatorStats) -> str:
             f"self={stats.self_elapsed_s * 1e3:.3f} ms{q_text})")
 
 
-def render_explain_analyze(profile: ExecutionProfile) -> str:
-    """Indented operator tree annotated estimated-vs-actual."""
+def render_explain_analyze(profile: ExecutionProfile,
+                           types: bool = True) -> str:
+    """Indented operator tree annotated estimated-vs-actual, with one
+    ``::`` typed-facts line per node when available (``types=False``
+    suppresses them)."""
     root = profile.root_id
     if root is None:
         return "(empty profile)"
@@ -50,6 +57,9 @@ def render_explain_analyze(profile: ExecutionProfile) -> str:
         stats = profile.nodes[op_id]
         lines.append(prefix + _node_line(stats))
         children = stats.children
+        if types and stats.typed_facts:
+            cont = child_prefix + ("│  " if children else "   ")
+            lines.append(f"{cont}:: {stats.typed_facts}")
         for i, child in enumerate(children):
             last = i == len(children) - 1
             branch = "└─ " if last else "├─ "

@@ -86,6 +86,10 @@ class OperatorStats:
     label: str                    # operator name, e.g. "hash-join"
     detail: str                   # short one-line specifics
     children: tuple[int, ...] = ()
+    #: One-line inferred column facts of the originating algebra node
+    #: (see :meth:`repro.analysis.typeinfer.NodeFacts.describe`); empty
+    #: when the planner had no type information.
+    typed_facts: str = ""
     rows_out: int = 0
     calls: int = 0                # next_batch() invocations (incl. final None)
     elapsed_s: float = 0.0        # cumulative: includes time in children
@@ -119,10 +123,12 @@ class ExecutionProfile:
 
     def register(self, label: str, detail: str,
                  algebra_node: AlgebraExpr | None = None,
-                 children: tuple[int, ...] | list[int] = ()) -> OperatorStats:
+                 children: tuple[int, ...] | list[int] = (),
+                 typed_facts: str = "") -> OperatorStats:
         """Create the stats record for one operator node."""
         op_id = len(self.nodes) + 1
-        stats = OperatorStats(op_id, label, detail, tuple(children))
+        stats = OperatorStats(op_id, label, detail, tuple(children),
+                              typed_facts=typed_facts)
         self.nodes[op_id] = stats
         if algebra_node is not None:
             self._algebra[op_id] = algebra_node
@@ -191,6 +197,7 @@ class ExecutionProfile:
                 "self_elapsed_s": stats.self_elapsed_s,
                 "estimated_rows": stats.estimated_rows,
                 "q_error": stats.q_error,
+                "typed_facts": stats.typed_facts,
             })
         return {
             "query": self.query,

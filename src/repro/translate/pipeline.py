@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.algebra.ast import AlgebraExpr, Project, algebra_size
 from repro.algebra.simplifier import simplify
 from repro.analysis.sanitizer import check_plan, verify_plans_enabled
+from repro.analysis.validate import check_rewrites
 from repro.core.formulas import Formula
 from repro.core.queries import CalculusQuery
 from repro.core.schema import DatabaseSchema
@@ -74,7 +75,8 @@ def translate_query(query: CalculusQuery,
                     simplify_plan: bool = True,
                     annotations=None,
                     tracer: SpanTracer | None = None,
-                    verify_plans: bool | None = None) -> TranslationResult:
+                    verify_plans: bool | None = None,
+                    validate_rewrites: bool | None = None) -> TranslationResult:
     """Translate an em-allowed calculus query into the extended algebra.
 
     Raises :class:`~repro.errors.NotEmAllowedError` when ``check_safety``
@@ -103,6 +105,15 @@ def translate_query(query: CalculusQuery,
     default (:func:`repro.analysis.sanitizer.set_verify_plans` — off in
     production, on throughout the test suite), so the disabled path
     costs one boolean test.
+
+    ``validate_rewrites`` additionally certifies the simplify phase with
+    the translation validator (:mod:`repro.analysis.validate`): the
+    simplified plan's root column facts must *refine* the compiled
+    plan's (the TV003 obligation), and the phase must neither change the
+    root arity nor introduce relation scans (TV001/TV002).  Any
+    violation raises :class:`~repro.errors.RewriteValidationError`.
+    ``None`` (the default) follows the resolved ``verify_plans`` value,
+    so turning verification off disables the validator too.
     """
     if tracer is None:
         tracer = NULL_TRACER
@@ -146,10 +157,20 @@ def translate_query(query: CalculusQuery,
                        expected_arity=query.arity)
         if simplify_plan:
             with tracer.span("simplify") as simplify_span:
+                compiled_plan = plan
                 plan = simplify(plan, catalog, verify=verify)
                 if verify:
                     check_plan(plan, catalog, phase="simplify",
                                expected_arity=query.arity)
+                validate = (validate_rewrites if validate_rewrites is not None
+                            else verify)
+                if validate:
+                    # simplifier rewrites are not step-recorded, so the
+                    # validator discharges the phase-level obligations
+                    # only: arity, relation provenance, fact refinement.
+                    check_rewrites(compiled_plan, plan, steps=(), shared=(),
+                                   catalog=catalog, schema=resolved_schema,
+                                   phase="simplify")
                 if tracer.enabled:
                     simplify_span.attrs["plan_ops"] = algebra_size(plan)
     return TranslationResult(plan=plan, enf=enf, trace=trace, schema=resolved_schema)

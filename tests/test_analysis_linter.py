@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.diagnostics import ERROR, WARNING
 from repro.analysis.linter import (
     DEFAULT_LINTER,
+    REGISTERED_RULE_CODES,
     Linter,
     LintRule,
     LintTarget,
@@ -266,6 +267,20 @@ class TestLinterRegistry:
 
     def test_default_linter_has_at_least_ten_rules(self):
         assert len(DEFAULT_LINTER.rules) >= 11
+
+    def test_registry_matches_documented_codes(self):
+        """The module docstring advertises exactly the registered rule
+        set (:data:`REGISTERED_RULE_CODES`); keep them in lockstep."""
+        registered = sorted(rule.code for rule in DEFAULT_LINTER.rules)
+        assert registered == sorted(REGISTERED_RULE_CODES)
+        assert len(DEFAULT_LINTER.rules) == len(REGISTERED_RULE_CODES) == 11
+
+    def test_documented_codes_appear_in_docstring(self):
+        import repro.analysis.linter as linter_module
+        doc = linter_module.__doc__
+        assert "11 registered rules" in doc
+        for code in REGISTERED_RULE_CODES:
+            assert code in doc, code
 
     def test_lint_query_object(self):
         q = parse_query("{ x | R(x) & x = x }")

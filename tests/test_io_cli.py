@@ -137,6 +137,63 @@ class TestCli:
         assert "q4" in out and "q5" in out
 
 
+class TestCliTypecheck:
+    def _write_data(self, tmp_path):
+        data = tmp_path / "inst.json"
+        data.write_text('{"R": {"arity": 1, "rows": [[1], [2], [3]]},'
+                        ' "S": {"arity": 1, "rows": [[2]]}}')
+        return data
+
+    def test_typecheck_clean_query(self, capsys):
+        code = main(["typecheck", "{ g(f(x)) | R(x) }"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result columns: [any] term_2(adom(I) + consts)" in out
+        assert ("finiteness: every output value lies in "
+                "term_2(adom(I) + consts)") in out
+        assert "no problems found" in out
+        # the typed plan annotates every node
+        assert out.count("::") >= 2
+
+    def test_typecheck_reports_diagnostics(self, capsys):
+        code = main(["typecheck", "{ x | R(x) & 1 = 2 }"])
+        out = capsys.readouterr().out
+        assert code == 1  # notes, but no errors
+        assert "info[TY005]" in out
+
+    def test_typecheck_with_data_validates_rewrites(self, tmp_path,
+                                                    capsys):
+        data = self._write_data(tmp_path)
+        code = main(["typecheck", "{ x | R(x) & S(x) }",
+                     "--data", str(data)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rewrite step(s) validated" in out
+
+    def test_typecheck_json_payload(self, capsys):
+        code = main(["typecheck", "{ g(f(x)) | R(x) }", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["arity"] == 1
+        assert payload["function_depth"] == 2
+        assert payload["certificate"] == "term_2(adom(I) + consts)"
+        assert payload["diagnostics"]["summary"]["error"] == 0
+
+    def test_typecheck_json_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "types.json"
+        code = main(["typecheck", "{ x | R(x) }", "--json",
+                     str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["columns"] == ["any"]
+
+    def test_typecheck_refuses_unsafe(self, capsys):
+        code = main(["typecheck", "{ x | f(x) = x }"])
+        assert code == 1
+        assert "refused" in capsys.readouterr().err
+
+
 class TestCliProfile:
     def _write_data(self, tmp_path):
         data = tmp_path / "inst.json"
@@ -184,6 +241,14 @@ class TestCliProfile:
         assert "self=" in out
         assert "rewrites" in out
 
+    def test_analyze_shows_typed_facts(self, tmp_path, capsys):
+        data = self._write_data(tmp_path)
+        code = main(["run", "{ x | R(x) & exists y (f(x) = y & ~R(y)) }",
+                     "--data", str(data), "--analyze"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ":: [" in out  # per-operator typed-facts continuation lines
+
 
 class TestCliOptimize:
     def _write_data(self, tmp_path):
@@ -209,8 +274,13 @@ class TestCliOptimize:
                      "--no-optimize"]) == 0
         plain = capsys.readouterr().out
         assert "\n  1" in tuned
-        # both modes return the same answer section
-        assert tuned.split("result rows")[1] == plain.split("result rows")[1]
+        # both modes return the same answer rows and row count (the
+        # summary line also carries wall-clock timings, which differ
+        # run to run)
+        assert tuned.split("result rows")[0] == plain.split("result rows")[0]
+        tuned_rows = [l for l in tuned.splitlines() if l.startswith("  ")]
+        plain_rows = [l for l in plain.splitlines() if l.startswith("  ")]
+        assert tuned_rows == plain_rows
 
     def test_analyze_reports_rewrites_line(self, tmp_path, capsys):
         data = self._write_data(tmp_path)

@@ -1,0 +1,143 @@
+"""UNDEFINED propagation through the physical engine (satellite of the
+typeinfer/validate PR: this corpus feeds the TY nullability rules).
+
+Fixed semantics under test: scalar applications are strict (UNDEFINED
+in, UNDEFINED out), constructed rows containing UNDEFINED are dropped
+by extended projection, and an UNDEFINED operand makes ``=`` and every
+ordering predicate false while ``!=`` holds.  Every case runs at batch
+sizes 1 and 1024 and is cross-checked against the reference algebra
+evaluator.
+"""
+
+import pytest
+
+from repro.algebra.ast import (
+    CApp,
+    CConst,
+    Col,
+    Condition,
+    Project,
+    Rel,
+    Select,
+)
+from repro.algebra.evaluator import evaluate
+from repro.data.instance import Instance
+from repro.data.interpretation import UNDEFINED, Interpretation
+from repro.engine.executor import execute
+
+pytestmark = pytest.mark.parametrize("batch_size", [1, 1024])
+
+
+@pytest.fixture
+def inst():
+    return Instance.of(R=[(0,), (4,), (9,), (10,)])
+
+
+@pytest.fixture
+def interp():
+    """isqrt is defined only on perfect squares; half only on evens."""
+    def isqrt(v):
+        if not isinstance(v, int) or v < 0:
+            return UNDEFINED
+        root = int(v ** 0.5)
+        return root if root * root == v else UNDEFINED
+
+    def half(v):
+        if isinstance(v, int) and v % 2 == 0:
+            return v // 2
+        return UNDEFINED
+
+    return Interpretation({"isqrt": isqrt, "half": half})
+
+
+def run(plan, inst, interp, batch_size):
+    report = execute(plan, inst, interp, batch_size=batch_size)
+    # the vectorized engine must agree with the reference evaluator
+    assert report.result.rows == evaluate(plan, inst, interp).rows
+    return report.result.rows
+
+
+def app(fn, expr):
+    return CApp(fn, (expr,))
+
+
+class TestChainedProjections:
+    def test_nested_application_single_projection(self, inst, interp,
+                                                  batch_size):
+        # half(isqrt(v)): 0 -> 0, 4 -> 1; 9 -> half(3) undefined,
+        # 10 -> isqrt undefined -- both rows dropped
+        plan = Project((app("half", app("isqrt", Col(1))),), Rel("R"))
+        assert run(plan, inst, interp, batch_size) == {(0,), (1,)}
+
+    def test_stacked_projections_agree_with_nesting(self, inst, interp,
+                                                    batch_size):
+        stacked = Project((app("half", Col(1)),),
+                          Project((app("isqrt", Col(1)),), Rel("R")))
+        nested = Project((app("half", app("isqrt", Col(1))),), Rel("R"))
+        assert (run(stacked, inst, interp, batch_size)
+                == run(nested, inst, interp, batch_size))
+
+    def test_passthrough_column_does_not_save_the_row(self, inst, interp,
+                                                      batch_size):
+        # one UNDEFINED position drops the whole constructed row even
+        # when other positions are defined
+        plan = Project((Col(1), app("isqrt", Col(1))), Rel("R"))
+        assert run(plan, inst, interp, batch_size) == {
+            (0, 0), (4, 2), (9, 3)}
+
+    def test_triple_chain_strictness(self, inst, interp, batch_size):
+        # isqrt(isqrt(v)): only 0 survives two rounds
+        plan = Project((app("isqrt", app("isqrt", Col(1))),), Rel("R"))
+        assert run(plan, inst, interp, batch_size) == {(0,)}
+
+
+class TestConstVersusUndefined:
+    def test_equality_never_holds(self, inst, interp, batch_size):
+        plan = Select(frozenset({Condition(app("isqrt", Col(1)), "=",
+                                           CConst(3))}), Rel("R"))
+        assert run(plan, inst, interp, batch_size) == {(9,)}
+
+    def test_inequality_always_holds(self, inst, interp, batch_size):
+        # != is true for UNDEFINED operands: 10 passes even though
+        # isqrt(10) is undefined
+        plan = Select(frozenset({Condition(app("isqrt", Col(1)), "!=",
+                                           CConst(3))}), Rel("R"))
+        assert run(plan, inst, interp, batch_size) == {(0,), (4,), (10,)}
+
+    def test_ordering_never_holds(self, inst, interp, batch_size):
+        plan = Select(frozenset({Condition(app("isqrt", Col(1)), "<",
+                                           CConst(3))}), Rel("R"))
+        assert run(plan, inst, interp, batch_size) == {(0,), (4,)}
+
+    def test_const_on_the_left(self, inst, interp, batch_size):
+        plan = Select(frozenset({Condition(CConst(3), "=",
+                                           app("isqrt", Col(1)))}),
+                      Rel("R"))
+        assert run(plan, inst, interp, batch_size) == {(9,)}
+
+    def test_undefined_vs_undefined(self, inst, interp, batch_size):
+        # both sides undefined on rows 9 and 10: still false for "=",
+        # true for "!="
+        eq = Select(frozenset({Condition(app("half", app("isqrt", Col(1))),
+                                         "=",
+                                         app("half", app("isqrt", Col(1))))}),
+                    Rel("R"))
+        assert run(eq, inst, interp, batch_size) == {(0,), (4,)}
+        ne = Select(frozenset({Condition(app("half", app("isqrt", Col(1))),
+                                         "!=", CConst(99))}),
+                    Rel("R"))
+        assert run(ne, inst, interp, batch_size) == {(0,), (4,), (9,), (10,)}
+
+
+class TestSelectionOverChainedProjection:
+    def test_filter_after_chain(self, inst, interp, batch_size):
+        chain = Project((app("half", app("isqrt", Col(1))),), Rel("R"))
+        plan = Select(frozenset({Condition(Col(1), "=", CConst(0))}),
+                      chain)
+        assert run(plan, inst, interp, batch_size) == {(0,)}
+
+    def test_negated_filter_after_chain(self, inst, interp, batch_size):
+        chain = Project((app("half", app("isqrt", Col(1))),), Rel("R"))
+        plan = Select(frozenset({Condition(Col(1), "!=", CConst(0))}),
+                      chain)
+        assert run(plan, inst, interp, batch_size) == {(1,)}
