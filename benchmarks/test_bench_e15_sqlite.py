@@ -1,0 +1,151 @@
+"""E15 — the SQLite backend versus the native batch engine.
+
+The backend exists for portability, not speed: the translated algebra
+plan is exported to the serializable IR, lowered to SQL, and run on
+stdlib ``sqlite3`` with scalar functions registered as UDFs.  This
+experiment quantifies what that buys and costs on the scaled gallery
+(the same instance builder as E12) at two sizes — 300 and 3000 rows
+per relation — reporting **compile time separately from execution**
+(compile is pure SQL generation and should be microseconds, invariant
+in the data size).
+
+Hard gates, asserted before any timing is reported:
+
+* every translatable gallery query returns the *identical* relation on
+  both engines at both scales (no fallback allowed — a sqlite number
+  that silently came from the native engine would be meaningless);
+* compile time stays under 50 ms per query and is a vanishing fraction
+  of the sqlite total at the larger scale.
+
+The artifact is ``benchmarks/results/E15_sqlite.md``; CI uploads it
+alongside the other experiment tables.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.executor import execute
+from repro.translate.pipeline import translate_query
+from repro.workloads.gallery import GALLERY, standard_gallery_interp
+
+from benchmarks.test_bench_e12_vectorized import scaled_gallery_instance
+
+#: (rows per relation, value universe, timing rounds).  The 3000-row
+#: scale uses a wider universe so relations do not collapse under set
+#: semantics, and a single round because ex74's cross product makes
+#: each run cost seconds on both engines.
+SCALES = ((300, 1024, 3), (3000, 4096, 1))
+
+#: Per-query compile-time ceiling (SQL generation only).
+COMPILE_CEILING_S = 0.050
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure():
+    interp = standard_gallery_interp()
+    keys = [k for k, e in GALLERY.items() if e.translatable]
+    translated = {k: translate_query(GALLERY[k].query) for k in keys}
+
+    tables = []
+    for scale, universe, rounds in SCALES:
+        instance = scaled_gallery_instance(scale, universe)
+        rows = []
+        for key in keys:
+            res = translated[key]
+            native = execute(res.plan, instance, interp, schema=res.schema)
+            sqlite = execute(res.plan, instance, interp, schema=res.schema,
+                             backend="sqlite")
+            # Correctness gates before any timing is trusted.
+            assert sqlite.backend == "sqlite" and not sqlite.backend_error, \
+                f"{key}@{scale}: sqlite fell back: {sqlite.backend_error}"
+            assert sqlite.result == native.result, \
+                f"{key}@{scale}: engines disagree"
+            assert sqlite.backend_compile_seconds < COMPILE_CEILING_S, \
+                f"{key}@{scale}: compile took {sqlite.backend_compile_seconds}s"
+
+            native_s = _best_of(
+                lambda: execute(res.plan, instance, interp,
+                                schema=res.schema), rounds)
+            sqlite_s = _best_of(
+                lambda: execute(res.plan, instance, interp,
+                                schema=res.schema, backend="sqlite"),
+                rounds)
+            rows.append((key, len(native.result), native_s, sqlite_s,
+                         sqlite.backend_compile_seconds))
+        tables.append((scale, universe, rounds, rows))
+    return tables
+
+
+def _markdown(tables) -> str:
+    lines = [
+        "# E15 — SQLite backend vs native batch engine",
+        "",
+        "Scaled gallery (same builder as E12), every translatable "
+        "query, answers asserted identical on both engines before "
+        "timing.  `compile` is SQL generation alone (plan IR export + "
+        "lowering), reported separately from execution; the sqlite "
+        "column is end-to-end (load temp tables, register UDFs, run "
+        "query).  Best-of-N per cell; the 3000-row scale uses a single "
+        "round because ex74's cross product costs seconds per run on "
+        "either engine — no query is skipped at either scale.",
+        "",
+    ]
+    for scale, universe, rounds, rows in tables:
+        total_native = sum(r[2] for r in rows)
+        total_sqlite = sum(r[3] for r in rows)
+        total_compile = sum(r[4] for r in rows)
+        lines += [
+            f"## {scale} rows/relation (universe {universe}, "
+            f"best of {rounds})",
+            "",
+            "| query | result rows | native ms | sqlite ms | "
+            "compile ms | sqlite/native |",
+            "| - | - | - | - | - | - |",
+        ]
+        for key, nrows, native_s, sqlite_s, compile_s in rows:
+            ratio = sqlite_s / native_s if native_s else float("inf")
+            lines.append(
+                f"| {key} | {nrows} | {native_s * 1e3:.3f} "
+                f"| {sqlite_s * 1e3:.3f} | {compile_s * 1e3:.3f} "
+                f"| {ratio:.2f}x |")
+        overall = total_sqlite / total_native if total_native else float("inf")
+        lines.append(
+            f"| **(total)** | | {total_native * 1e3:.3f} "
+            f"| {total_sqlite * 1e3:.3f} | {total_compile * 1e3:.3f} "
+            f"| **{overall:.2f}x** |")
+        lines.append("")
+    lines += [
+        "Reading: the native engine keeps relations as Python sets and "
+        "wins whenever per-row transfer into SQLite dominates; SQLite "
+        "wins on anti-join-shaped plans at scale (ex_neg_exists) where "
+        "its indexed NOT EXISTS beats the engine's hash difference.  "
+        "Compile time is flat across scales — the lowering never looks "
+        "at the data.",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def test_e15_sqlite_backend(benchmark, results_dir):
+    tables = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    artifact = _markdown(tables)
+    (results_dir / "E15_sqlite.md").write_text(artifact)
+    print(artifact)
+
+    # Compile must be a vanishing fraction of the sqlite total at the
+    # larger scale — the point of reporting it separately.
+    scale, _, _, rows = tables[-1]
+    total_sqlite = sum(r[3] for r in rows)
+    total_compile = sum(r[4] for r in rows)
+    assert total_compile < total_sqlite * 0.10, (
+        f"compile is {total_compile:.4f}s of {total_sqlite:.4f}s total "
+        f"at {scale} rows — lowering should not scale with data")

@@ -1,0 +1,80 @@
+"""Pluggable execution backends behind a serializable plan IR.
+
+The translation pipeline decides safety and em-allowedness once; this
+package makes the resulting plan portable.  :mod:`repro.backends.ir`
+defines the JSON-round-trippable plan IR (every node arity-annotated,
+scalar functions declared up front as signatures) and the
+``plan_to_ir`` / ``ir_to_plan`` / ``ir_to_json`` / ``ir_from_json``
+boundary; :mod:`repro.backends.sqlite` lowers the IR to SQL with the
+UNDEFINED-as-NULL three-valued mapping and runs it on stdlib
+``sqlite3``.
+
+Backend selection is by name: :func:`resolve_backend` normalizes
+``execute(backend=...)`` / ``--backend`` / the ``REPRO_BACKEND``
+environment variable (in that precedence), defaulting to the native
+batch engine.  An unknown name raises
+:class:`~repro.errors.BackendError` (``BK005``); a *supported* backend
+failing on a particular plan is a fallback signal, handled by
+:func:`repro.engine.executor.execute`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backends.ir import (
+    FunctionSig,
+    PlanIR,
+    ir_from_json,
+    ir_to_json,
+    ir_to_plan,
+    plan_to_ir,
+)
+from repro.backends.sqlite import (
+    CompiledSQL,
+    SQLiteRun,
+    compile_ir,
+    run_sqlite_ir,
+    run_sqlite_plan,
+)
+from repro.errors import BackendError
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "resolve_backend",
+    "FunctionSig",
+    "PlanIR",
+    "plan_to_ir",
+    "ir_to_plan",
+    "ir_to_json",
+    "ir_from_json",
+    "CompiledSQL",
+    "SQLiteRun",
+    "compile_ir",
+    "run_sqlite_ir",
+    "run_sqlite_plan",
+]
+
+#: The backend names :func:`resolve_backend` accepts.
+KNOWN_BACKENDS = ("native", "sqlite")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Normalize a backend selection to a name in :data:`KNOWN_BACKENDS`.
+
+    ``None`` defers to the ``REPRO_BACKEND`` environment variable (same
+    pattern as ``REPRO_BATCH_SIZE`` / ``REPRO_OPTIMIZE``); an unset or
+    empty variable means the native engine.  Unknown names raise
+    :class:`BackendError` with code ``BK005``.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND", "") or "native"
+    backend = backend.strip().lower()
+    if backend not in KNOWN_BACKENDS:
+        known = ", ".join(KNOWN_BACKENDS)
+        raise BackendError(
+            f"unknown backend {backend!r}; known backends: {known}",
+            code="BK005",
+            hint="pass backend='native' or backend='sqlite' (or set "
+                 "REPRO_BACKEND)")
+    return backend

@@ -1,0 +1,859 @@
+"""Serializable plan IR: the boundary between translation and backends.
+
+The paper's point about its extended algebra is portability: safety and
+em-allowedness are decided *once*, and any engine that honors the
+algebra's semantics — including UNDEFINED propagation and point-wise
+scalar-function application — can evaluate the translated plan.  This
+module makes that boundary concrete as a JSON-round-trippable dataclass
+tree mirroring the physical plan:
+
+* every node carries its output ``arity`` (backends never re-derive it);
+* joins/products carry ``left_arity`` so coordinate references over the
+  concatenated columns resolve without a catalog;
+* the generalized-difference shape the physical planner turns into an
+  anti-join (``Diff(e, Project(identity, Join(conds, e, X)))``) is
+  exported as an explicit :class:`IRAntiJoin`, mirroring the physical
+  decision rather than the surface syntax;
+* the plan's scalar functions and enumerators are *declared* up front as
+  :class:`FunctionSig` entries (name, arity, determinism, totality —
+  i.e. whether applications may come back UNDEFINED), in the style of
+  Substrait's extension-function declarations, so a backend can register
+  host callables before it sees a single row.
+
+Values are restricted to the JSON-stable scalars ``bool``, ``int``,
+finite ``float`` and ``str``; anything else raises a structured
+:class:`~repro.errors.BackendError` (code ``BK002``) at export time, and
+unknown node kinds at decode time raise ``BK001`` naming the kind and
+the known vocabulary — never a bare ``KeyError``.
+
+``plan_to_ir`` / ``ir_to_plan`` are exact inverses on translator output
+(anti-join reconstruction included), and ``ir_from_json(ir_to_json(x))``
+is the identity for every exportable plan; both properties are pinned by
+hypothesis tests in ``tests/test_backend_ir.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.algebra.ast import (
+    AdomK,
+    AlgebraExpr,
+    CApp,
+    CConst,
+    Col,
+    ColExpr,
+    Condition,
+    Diff,
+    Enumerate,
+    Join,
+    Lit,
+    Params,
+    Product,
+    Project,
+    Rel,
+    Select,
+    Union,
+    arity_of,
+    walk_algebra,
+)
+from repro.core.schema import DatabaseSchema
+from repro.engine.optimizer import match_anti_join, rebuild_anti_join
+from repro.errors import BackendError
+
+__all__ = [
+    "IR_VERSION",
+    "Scalar",
+    "FunctionSig",
+    "IRExpr",
+    "IRCol",
+    "IRConst",
+    "IRApp",
+    "IRCondition",
+    "IRNode",
+    "IRScan",
+    "IRLiteral",
+    "IRProject",
+    "IRSelect",
+    "IRJoin",
+    "IRProduct",
+    "IRUnion",
+    "IRDiff",
+    "IRAntiJoin",
+    "IREnumerate",
+    "IRAdomK",
+    "IRParams",
+    "PlanIR",
+    "plan_to_ir",
+    "ir_to_plan",
+    "ir_to_json",
+    "ir_from_json",
+    "walk_ir",
+]
+
+#: Format version stamped into every serialized IR document.
+IR_VERSION = 1
+
+#: The value domain the IR can carry: JSON-stable scalars only.
+Scalar = bool | int | float | str
+
+
+def _check_scalar(value: object, where: str) -> Scalar:
+    """Validate a value for IR export; BK002 on anything non-portable."""
+    if isinstance(value, bool) or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise BackendError(
+                f"non-finite float {value!r} in {where} cannot be serialized",
+                code="BK002",
+                hint="only finite floats survive the JSON/SQL boundary")
+        return value
+    raise BackendError(
+        f"value {value!r} of type {type(value).__name__} in {where} is not "
+        "a backend-portable scalar",
+        code="BK002",
+        hint="backends carry bool/int/float/str; run this plan on the "
+             "native engine")
+
+
+# ---------------------------------------------------------------------------
+# Function signatures
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class FunctionSig:
+    """A scalar function (or enumerator) declared at the IR boundary.
+
+    ``total=False`` means applications may come back UNDEFINED — the
+    backend must map that to its own null and keep such rows out of
+    projection results, exactly as the native engine drops them.
+    ``deterministic`` lets engines cache repeated applications (SQLite's
+    ``create_function(deterministic=...)``); the repro interpretations
+    are pure, so it defaults to True.
+    """
+
+    name: str
+    arity: int
+    deterministic: bool = True
+    total: bool = True
+    kind: str = "scalar"  # "scalar" | "enumerator"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("scalar", "enumerator"):
+            raise BackendError(
+                f"function kind must be 'scalar' or 'enumerator', "
+                f"got {self.kind!r}", code="BK003")
+
+
+# ---------------------------------------------------------------------------
+# Column expressions and conditions
+# ---------------------------------------------------------------------------
+
+class IRExpr:
+    """Abstract base of IR column expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class IRCol(IRExpr):
+    """Coordinate reference ``@index`` (1-based, like the paper)."""
+
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRConst(IRExpr):
+    """A constant column expression over the portable scalar domain."""
+
+    value: Scalar
+
+
+@dataclass(frozen=True, slots=True)
+class IRApp(IRExpr):
+    """Scalar function application ``f(e1, ..., ek)``.
+
+    Applications are *strict* in UNDEFINED: if any argument is
+    undefined the application is undefined without calling the host
+    function — backends must preserve this (SQLite: NULL in, NULL out,
+    host callable not invoked).
+    """
+
+    name: str
+    args: tuple[IRExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class IRCondition:
+    """A comparison with the shared three-valued semantics.
+
+    An UNDEFINED operand makes ``=`` and every ordering false and
+    ``!=`` true; orderings the host cannot perform (mixed types) are
+    false.  See :func:`repro.algebra.ast.compare_values` — every
+    backend must agree with it, the NULL≠NULL trap included.
+    """
+
+    left: IRExpr
+    op: str
+    right: IRExpr
+
+
+# ---------------------------------------------------------------------------
+# Plan nodes
+# ---------------------------------------------------------------------------
+
+class IRNode:
+    """Abstract base of IR plan nodes; every concrete node has ``arity``."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class IRScan(IRNode):
+    """Scan of a database relation by name."""
+
+    name: str
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRLiteral(IRNode):
+    """A literal relation; rows are sorted for a canonical encoding."""
+
+    arity: int
+    rows: tuple[tuple[Scalar, ...], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class IRProject(IRNode):
+    """Extended projection; empty ``exprs`` is the arity-0 boolean."""
+
+    exprs: tuple[IRExpr, ...]
+    child: IRNode
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRSelect(IRNode):
+    """Selection by a conjunction of conditions."""
+
+    conds: tuple[IRCondition, ...]
+    child: IRNode
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRJoin(IRNode):
+    """Theta-join; conditions index the concatenated columns."""
+
+    conds: tuple[IRCondition, ...]
+    left: IRNode
+    right: IRNode
+    left_arity: int
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRProduct(IRNode):
+    """Cross product (a join with no conditions, kept distinct to
+    mirror the plan)."""
+
+    left: IRNode
+    right: IRNode
+    left_arity: int
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRUnion(IRNode):
+    left: IRNode
+    right: IRNode
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRDiff(IRNode):
+    left: IRNode
+    right: IRNode
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRAntiJoin(IRNode):
+    """Rows of ``left`` with no ``conds``-matching partner in ``right``.
+
+    Mirrors the physical planner's anti-join decision for the
+    translator's generalized difference.  Conditions index the
+    concatenated (left ++ right) columns; ``arity`` is the left arity.
+    Backends lowering this to ``NOT EXISTS`` must keep the three-valued
+    condition semantics: an UNDEFINED/NULL comparison is *not* a match,
+    so the probe row survives.
+    """
+
+    conds: tuple[IRCondition, ...]
+    left: IRNode
+    right: IRNode
+    right_arity: int
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IREnumerate(IRNode):
+    """Inverse-application via a named enumerator (annotated functions).
+
+    Not expressible in SQL: backends materialize the child, run the
+    enumerator row-wise in the host language, and continue from the
+    materialized result.
+    """
+
+    enumerator: str
+    inputs: tuple[IRExpr, ...]
+    out_count: int
+    child: IRNode
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRAdomK(IRNode):
+    """The level-``k`` term closure of the active domain (plus extras);
+    unary.  Computed host-side (it needs the whole instance and the
+    interpretation), then materialized."""
+
+    level: int
+    extras: tuple[Scalar, ...]
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class IRParams(IRNode):
+    """The unbound parameter relation — no backend can evaluate it; it
+    is representable so parameterized plans can be shipped and bound on
+    the far side."""
+
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class PlanIR:
+    """A complete serializable plan: root node + declared functions."""
+
+    root: IRNode
+    functions: tuple[FunctionSig, ...]
+    arity: int
+
+
+def walk_ir(node: IRNode) -> Iterator[IRNode]:
+    """Yield ``node`` and all of its descendants, pre-order."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (IRProject, IRSelect, IREnumerate)):
+            stack.append(current.child)
+        elif isinstance(current, (IRJoin, IRProduct, IRUnion, IRDiff,
+                                  IRAntiJoin)):
+            stack.append(current.right)
+            stack.append(current.left)
+
+
+# ---------------------------------------------------------------------------
+# Export: algebra plan -> IR
+# ---------------------------------------------------------------------------
+
+def _export_expr(expr: ColExpr, where: str) -> IRExpr:
+    if isinstance(expr, Col):
+        return IRCol(expr.index)
+    if isinstance(expr, CConst):
+        return IRConst(_check_scalar(expr.value, where))
+    if isinstance(expr, CApp):
+        return IRApp(expr.name,
+                     tuple(_export_expr(a, where) for a in expr.args))
+    raise BackendError(
+        f"unknown column expression {type(expr).__name__} in {where}",
+        code="BK004")
+
+
+def _export_conds(conds: frozenset[Condition], where: str) \
+        -> tuple[IRCondition, ...]:
+    out = [IRCondition(_export_expr(c.left, where), c.op,
+                       _export_expr(c.right, where))
+           for c in conds]
+    # canonical order so equal plans export to equal (and byte-equal) IR
+    return tuple(sorted(out, key=repr))
+
+
+def _expr_arity(expr: IRExpr, seen: dict[str, int]) -> None:
+    """Record arities of applied functions (for undeclared symbols)."""
+    if isinstance(expr, IRApp):
+        seen.setdefault(expr.name, len(expr.args))
+        for a in expr.args:
+            _expr_arity(a, seen)
+
+
+def _collect_functions(root: IRNode, schema: DatabaseSchema | None) \
+        -> tuple[FunctionSig, ...]:
+    applied: dict[str, int] = {}
+    enumerators: dict[str, int] = {}
+    for node in walk_ir(root):
+        if isinstance(node, IRProject):
+            for e in node.exprs:
+                _expr_arity(e, applied)
+        elif isinstance(node, (IRSelect, IRJoin, IRAntiJoin)):
+            for c in node.conds:
+                _expr_arity(c.left, applied)
+                _expr_arity(c.right, applied)
+        elif isinstance(node, IREnumerate):
+            for e in node.inputs:
+                _expr_arity(e, applied)
+            enumerators.setdefault(node.enumerator, len(node.inputs))
+    declared = ({sig.name: sig for sig in schema.functions}
+                if schema is not None else {})
+    sigs = []
+    for name in sorted(applied):
+        decl = declared.get(name)
+        if decl is not None:
+            sigs.append(FunctionSig(name, decl.arity, deterministic=True,
+                                    total=decl.total))
+        else:
+            sigs.append(FunctionSig(name, applied[name], deterministic=True,
+                                    total=False))
+    for name in sorted(enumerators):
+        sigs.append(FunctionSig(name, enumerators[name], deterministic=True,
+                                total=False, kind="enumerator"))
+    return tuple(sigs)
+
+
+def _node_arity(node: IRNode) -> int:
+    """Output arity of a concrete IR node (every kind declares one)."""
+    arity = getattr(node, "arity", None)
+    if not isinstance(arity, int):
+        raise BackendError(
+            f"IR node {type(node).__name__} has no arity", code="BK003")
+    return arity
+
+
+def plan_to_ir(plan: AlgebraExpr, catalog: Mapping[str, int],
+               schema: DatabaseSchema | None = None) -> PlanIR:
+    """Export a physical-ready algebra plan as serializable IR.
+
+    ``catalog`` maps relation names to arities (see
+    :func:`repro.engine.executor.plan_catalog`); ``schema``, when
+    given, supplies declared function totality for the signature block.
+    Raises :class:`BackendError` for values outside the portable scalar
+    domain (``BK002``).
+    """
+
+    def export(node: AlgebraExpr) -> IRNode:
+        if isinstance(node, Rel):
+            return IRScan(node.name, arity_of(node, catalog))
+        if isinstance(node, Lit):
+            rows = tuple(sorted(
+                (tuple(_check_scalar(v, f"literal row {row!r}") for v in row)
+                 for row in node.rows),
+                key=repr))
+            return IRLiteral(node.arity, rows)
+        if isinstance(node, Project):
+            child = export(node.child)
+            exprs = tuple(_export_expr(e, "projection") for e in node.exprs)
+            return IRProject(exprs, child, len(exprs))
+        if isinstance(node, Select):
+            child = export(node.child)
+            return IRSelect(_export_conds(node.conds, "selection"), child,
+                            _node_arity(child))
+        if isinstance(node, Diff):
+            match = match_anti_join(node)
+            if match is not None:
+                conds, context, excluded = match
+                left = export(context)
+                right = export(excluded)
+                return IRAntiJoin(_export_conds(conds, "anti-join"),
+                                  left, right, _node_arity(right),
+                                  _node_arity(left))
+            left = export(node.left)
+            right = export(node.right)
+            return IRDiff(left, right, _node_arity(left))
+        if isinstance(node, Join):
+            left = export(node.left)
+            right = export(node.right)
+            la = _node_arity(left)
+            return IRJoin(_export_conds(node.conds, "join"), left, right,
+                          la, la + _node_arity(right))
+        if isinstance(node, Product):
+            left = export(node.left)
+            right = export(node.right)
+            la = _node_arity(left)
+            return IRProduct(left, right, la, la + _node_arity(right))
+        if isinstance(node, Union):
+            left = export(node.left)
+            right = export(node.right)
+            return IRUnion(left, right, _node_arity(left))
+        if isinstance(node, Enumerate):
+            child = export(node.child)
+            inputs = tuple(_export_expr(e, "enumerate input")
+                           for e in node.inputs)
+            return IREnumerate(node.enumerator, inputs, node.out_count,
+                               child, _node_arity(child) + node.out_count)
+        if isinstance(node, AdomK):
+            extras = tuple(sorted(
+                (_check_scalar(v, "adom-k extras") for v in node.extras),
+                key=repr))
+            return IRAdomK(node.level, extras, 1)
+        if isinstance(node, Params):
+            return IRParams(node.arity)
+        raise BackendError(
+            f"unknown algebra node {type(node).__name__}", code="BK004")
+
+    arity = arity_of(plan, catalog)  # validates the plan up front
+    root = export(plan)
+    return PlanIR(root, _collect_functions(root, schema), arity)
+
+
+# ---------------------------------------------------------------------------
+# Import: IR -> algebra plan (the exporter's inverse)
+# ---------------------------------------------------------------------------
+
+def _import_expr(expr: IRExpr) -> ColExpr:
+    if isinstance(expr, IRCol):
+        return Col(expr.index)
+    if isinstance(expr, IRConst):
+        return CConst(expr.value)
+    if isinstance(expr, IRApp):
+        return CApp(expr.name, tuple(_import_expr(a) for a in expr.args))
+    raise BackendError(
+        f"unknown IR expression {type(expr).__name__}", code="BK003")
+
+
+def _import_conds(conds: tuple[IRCondition, ...]) -> frozenset[Condition]:
+    return frozenset(Condition(_import_expr(c.left), c.op,
+                               _import_expr(c.right)) for c in conds)
+
+
+def ir_to_plan(ir: PlanIR) -> AlgebraExpr:
+    """Rebuild the algebra plan from its IR — ``plan_to_ir``'s inverse.
+
+    The anti-join node is re-expanded to the canonical
+    generalized-difference shape, so a round trip through the IR is the
+    identity on translator output.
+    """
+
+    def build(node: IRNode) -> AlgebraExpr:
+        if isinstance(node, IRScan):
+            return Rel(node.name)
+        if isinstance(node, IRLiteral):
+            return Lit(node.arity, frozenset(node.rows))
+        if isinstance(node, IRProject):
+            return Project(tuple(_import_expr(e) for e in node.exprs),
+                           build(node.child))
+        if isinstance(node, IRSelect):
+            return Select(_import_conds(node.conds), build(node.child))
+        if isinstance(node, IRJoin):
+            return Join(_import_conds(node.conds), build(node.left),
+                        build(node.right))
+        if isinstance(node, IRProduct):
+            return Product(build(node.left), build(node.right))
+        if isinstance(node, IRUnion):
+            return Union(build(node.left), build(node.right))
+        if isinstance(node, IRDiff):
+            return Diff(build(node.left), build(node.right))
+        if isinstance(node, IRAntiJoin):
+            return rebuild_anti_join(_import_conds(node.conds),
+                                     build(node.left), build(node.right),
+                                     node.arity)
+        if isinstance(node, IREnumerate):
+            return Enumerate(node.enumerator,
+                             tuple(_import_expr(e) for e in node.inputs),
+                             node.out_count, build(node.child))
+        if isinstance(node, IRAdomK):
+            return AdomK(node.level, frozenset(node.extras))
+        if isinstance(node, IRParams):
+            return Params(node.arity)
+        raise BackendError(
+            f"unknown IR node {type(node).__name__}", code="BK003")
+
+    return build(ir.root)
+
+
+# ---------------------------------------------------------------------------
+# JSON encoding
+# ---------------------------------------------------------------------------
+
+def _enc_expr(expr: IRExpr) -> dict[str, Any]:
+    if isinstance(expr, IRCol):
+        return {"kind": "col", "index": expr.index}
+    if isinstance(expr, IRConst):
+        return {"kind": "const", "value": expr.value}
+    if isinstance(expr, IRApp):
+        return {"kind": "app", "name": expr.name,
+                "args": [_enc_expr(a) for a in expr.args]}
+    raise BackendError(
+        f"unknown IR expression {type(expr).__name__}", code="BK003")
+
+
+def _enc_cond(cond: IRCondition) -> dict[str, Any]:
+    return {"left": _enc_expr(cond.left), "op": cond.op,
+            "right": _enc_expr(cond.right)}
+
+
+def _enc_node(node: IRNode) -> dict[str, Any]:
+    if isinstance(node, IRScan):
+        return {"kind": "scan", "name": node.name, "arity": node.arity}
+    if isinstance(node, IRLiteral):
+        return {"kind": "literal", "arity": node.arity,
+                "rows": [list(r) for r in node.rows]}
+    if isinstance(node, IRProject):
+        return {"kind": "project", "exprs": [_enc_expr(e) for e in node.exprs],
+                "child": _enc_node(node.child), "arity": node.arity}
+    if isinstance(node, IRSelect):
+        return {"kind": "select", "conds": [_enc_cond(c) for c in node.conds],
+                "child": _enc_node(node.child), "arity": node.arity}
+    if isinstance(node, IRJoin):
+        return {"kind": "join", "conds": [_enc_cond(c) for c in node.conds],
+                "left": _enc_node(node.left), "right": _enc_node(node.right),
+                "left_arity": node.left_arity, "arity": node.arity}
+    if isinstance(node, IRProduct):
+        return {"kind": "product", "left": _enc_node(node.left),
+                "right": _enc_node(node.right),
+                "left_arity": node.left_arity, "arity": node.arity}
+    if isinstance(node, IRUnion):
+        return {"kind": "union", "left": _enc_node(node.left),
+                "right": _enc_node(node.right), "arity": node.arity}
+    if isinstance(node, IRDiff):
+        return {"kind": "diff", "left": _enc_node(node.left),
+                "right": _enc_node(node.right), "arity": node.arity}
+    if isinstance(node, IRAntiJoin):
+        return {"kind": "anti_join",
+                "conds": [_enc_cond(c) for c in node.conds],
+                "left": _enc_node(node.left), "right": _enc_node(node.right),
+                "right_arity": node.right_arity, "arity": node.arity}
+    if isinstance(node, IREnumerate):
+        return {"kind": "enumerate", "enumerator": node.enumerator,
+                "inputs": [_enc_expr(e) for e in node.inputs],
+                "out_count": node.out_count,
+                "child": _enc_node(node.child), "arity": node.arity}
+    if isinstance(node, IRAdomK):
+        return {"kind": "adom_k", "level": node.level,
+                "extras": list(node.extras), "arity": node.arity}
+    if isinstance(node, IRParams):
+        return {"kind": "params", "arity": node.arity}
+    raise BackendError(
+        f"unknown IR node {type(node).__name__}", code="BK003")
+
+
+def ir_to_json(ir: PlanIR) -> str:
+    """Serialize a :class:`PlanIR` to canonical JSON text."""
+    doc = {
+        "version": IR_VERSION,
+        "arity": ir.arity,
+        "functions": [
+            {"name": s.name, "arity": s.arity,
+             "deterministic": s.deterministic, "total": s.total,
+             "kind": s.kind}
+            for s in ir.functions
+        ],
+        "root": _enc_node(ir.root),
+    }
+    return json.dumps(doc, sort_keys=True, allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# JSON decoding (structured diagnostics, never KeyError)
+# ---------------------------------------------------------------------------
+
+def _need(obj: Any, key: str, kinds: type | tuple[type, ...],
+          where: str) -> Any:
+    if not isinstance(obj, dict):
+        raise BackendError(
+            f"expected a JSON object for {where}, got {type(obj).__name__}",
+            code="BK003")
+    if key not in obj:
+        raise BackendError(f"{where} is missing required field {key!r}",
+                           code="BK003")
+    value = obj[key]
+    if not isinstance(value, kinds):
+        raise BackendError(
+            f"field {key!r} of {where} has type {type(value).__name__}",
+            code="BK003")
+    return value
+
+
+def _dec_scalar(value: Any, where: str) -> Scalar:
+    if isinstance(value, (bool, int, float, str)):
+        return _check_scalar(value, where)
+    raise BackendError(
+        f"non-scalar value {value!r} in {where}", code="BK003")
+
+
+def _dec_expr(obj: Any) -> IRExpr:
+    kind = _need(obj, "kind", str, "IR expression")
+    if kind == "col":
+        return IRCol(_need(obj, "index", int, "col expression"))
+    if kind == "const":
+        return IRConst(_dec_scalar(_need(obj, "value", (bool, int, float, str),
+                                         "const expression"),
+                                   "const expression"))
+    if kind == "app":
+        args = _need(obj, "args", list, "app expression")
+        return IRApp(_need(obj, "name", str, "app expression"),
+                     tuple(_dec_expr(a) for a in args))
+    raise BackendError(
+        f"unknown IR expression kind {kind!r}; known kinds: app, col, const",
+        code="BK001")
+
+
+def _dec_cond(obj: Any) -> IRCondition:
+    return IRCondition(_dec_expr(_need(obj, "left", dict, "condition")),
+                       _need(obj, "op", str, "condition"),
+                       _dec_expr(_need(obj, "right", dict, "condition")))
+
+
+def _dec_conds(obj: Any, where: str) -> tuple[IRCondition, ...]:
+    return tuple(_dec_cond(c) for c in _need(obj, "conds", list, where))
+
+
+def _dec_exprs(obj: Any, key: str, where: str) -> tuple[IRExpr, ...]:
+    return tuple(_dec_expr(e) for e in _need(obj, key, list, where))
+
+
+def _dec_scan(obj: Any) -> IRNode:
+    return IRScan(_need(obj, "name", str, "scan"),
+                  _need(obj, "arity", int, "scan"))
+
+
+def _dec_literal(obj: Any) -> IRNode:
+    rows = _need(obj, "rows", list, "literal")
+    decoded = []
+    for row in rows:
+        if not isinstance(row, list):
+            raise BackendError("literal rows must be arrays", code="BK003")
+        decoded.append(tuple(_dec_scalar(v, "literal row") for v in row))
+    return IRLiteral(_need(obj, "arity", int, "literal"), tuple(decoded))
+
+
+def _dec_project(obj: Any) -> IRNode:
+    return IRProject(_dec_exprs(obj, "exprs", "project"),
+                     _dec_node(_need(obj, "child", dict, "project")),
+                     _need(obj, "arity", int, "project"))
+
+
+def _dec_select(obj: Any) -> IRNode:
+    return IRSelect(_dec_conds(obj, "select"),
+                    _dec_node(_need(obj, "child", dict, "select")),
+                    _need(obj, "arity", int, "select"))
+
+
+def _dec_join(obj: Any) -> IRNode:
+    return IRJoin(_dec_conds(obj, "join"),
+                  _dec_node(_need(obj, "left", dict, "join")),
+                  _dec_node(_need(obj, "right", dict, "join")),
+                  _need(obj, "left_arity", int, "join"),
+                  _need(obj, "arity", int, "join"))
+
+
+def _dec_product(obj: Any) -> IRNode:
+    return IRProduct(_dec_node(_need(obj, "left", dict, "product")),
+                     _dec_node(_need(obj, "right", dict, "product")),
+                     _need(obj, "left_arity", int, "product"),
+                     _need(obj, "arity", int, "product"))
+
+
+def _dec_union(obj: Any) -> IRNode:
+    return IRUnion(_dec_node(_need(obj, "left", dict, "union")),
+                   _dec_node(_need(obj, "right", dict, "union")),
+                   _need(obj, "arity", int, "union"))
+
+
+def _dec_diff(obj: Any) -> IRNode:
+    return IRDiff(_dec_node(_need(obj, "left", dict, "diff")),
+                  _dec_node(_need(obj, "right", dict, "diff")),
+                  _need(obj, "arity", int, "diff"))
+
+
+def _dec_anti_join(obj: Any) -> IRNode:
+    return IRAntiJoin(_dec_conds(obj, "anti_join"),
+                      _dec_node(_need(obj, "left", dict, "anti_join")),
+                      _dec_node(_need(obj, "right", dict, "anti_join")),
+                      _need(obj, "right_arity", int, "anti_join"),
+                      _need(obj, "arity", int, "anti_join"))
+
+
+def _dec_enumerate(obj: Any) -> IRNode:
+    return IREnumerate(_need(obj, "enumerator", str, "enumerate"),
+                       _dec_exprs(obj, "inputs", "enumerate"),
+                       _need(obj, "out_count", int, "enumerate"),
+                       _dec_node(_need(obj, "child", dict, "enumerate")),
+                       _need(obj, "arity", int, "enumerate"))
+
+
+def _dec_adom_k(obj: Any) -> IRNode:
+    extras = _need(obj, "extras", list, "adom_k")
+    return IRAdomK(_need(obj, "level", int, "adom_k"),
+                   tuple(_dec_scalar(v, "adom_k extras") for v in extras),
+                   _need(obj, "arity", int, "adom_k"))
+
+
+def _dec_params(obj: Any) -> IRNode:
+    return IRParams(_need(obj, "arity", int, "params"))
+
+
+_DECODERS: dict[str, Callable[[Any], IRNode]] = {
+    "scan": _dec_scan,
+    "literal": _dec_literal,
+    "project": _dec_project,
+    "select": _dec_select,
+    "join": _dec_join,
+    "product": _dec_product,
+    "union": _dec_union,
+    "diff": _dec_diff,
+    "anti_join": _dec_anti_join,
+    "enumerate": _dec_enumerate,
+    "adom_k": _dec_adom_k,
+    "params": _dec_params,
+}
+
+
+def _dec_node(obj: Any) -> IRNode:
+    kind = _need(obj, "kind", str, "IR node")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        known = ", ".join(sorted(_DECODERS))
+        raise BackendError(
+            f"unknown IR node kind {kind!r}; known kinds: {known}",
+            code="BK001",
+            hint="the IR document was produced by a newer exporter or is "
+                 "corrupt")
+    return decoder(obj)
+
+
+def ir_from_json(text: str) -> PlanIR:
+    """Parse canonical IR JSON back into a :class:`PlanIR`.
+
+    Unknown node kinds raise :class:`BackendError` ``BK001`` naming the
+    kind and listing the known vocabulary; structural problems raise
+    ``BK003``.  ``ir_from_json(ir_to_json(x)) == x`` for every
+    exportable plan.
+    """
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise BackendError(f"IR document is not valid JSON: {exc}",
+                           code="BK003") from exc
+    version = _need(doc, "version", int, "IR document")
+    if version != IR_VERSION:
+        raise BackendError(
+            f"unsupported IR version {version} (this build reads "
+            f"{IR_VERSION})", code="BK003")
+    functions = []
+    for entry in _need(doc, "functions", list, "IR document"):
+        functions.append(FunctionSig(
+            _need(entry, "name", str, "function signature"),
+            _need(entry, "arity", int, "function signature"),
+            _need(entry, "deterministic", bool, "function signature"),
+            _need(entry, "total", bool, "function signature"),
+            _need(entry, "kind", str, "function signature")))
+    root = _dec_node(_need(doc, "root", dict, "IR document"))
+    return PlanIR(root, tuple(functions),
+                  _need(doc, "arity", int, "IR document"))

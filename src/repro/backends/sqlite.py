@@ -1,0 +1,681 @@
+"""SQLite backend: lower the plan IR to SQL and run it on ``sqlite3``.
+
+The lowering realizes the paper's portability claim on a real second
+engine: each IR node becomes one SELECT over ``c1..cn`` columns, and
+the semantic fine print is carried across the boundary explicitly —
+
+**UNDEFINED maps to SQL NULL.**  The native engines agree on the
+three-valued comparison semantics of
+:func:`repro.algebra.ast.compare_values`: an UNDEFINED operand makes
+``=`` and every ordering false and ``!=`` true.  Under the NULL
+mapping, SQL equality does the right thing for free (``NULL = x`` is
+unknown, and WHERE drops unknown); ``!=`` must be expanded to
+``(l IS NULL OR r IS NULL OR l <> r)`` because SQL's unknown would
+*drop* the row the calculus keeps; the orderings go through registered
+comparator UDFs because SQLite happily orders across types
+(``2 < 'x'`` is true there) while the calculus treats host-unorderable
+pairs as false.
+
+**Rows never carry NULL.**  The engine invariant — extended projection
+and Enumerate drop UNDEFINED-bearing rows before they flow — is
+preserved: projections with function applications get per-expression
+``IS NOT NULL`` guards.  This is what keeps EXCEPT/NOT EXISTS honest:
+the classic NULL≠NULL trap (a NULL row in the right side of EXCEPT
+does not cancel a NULL row on the left) can never fire because no NULL
+reaches a set operation.  ``tests/test_backend_nulls.py`` pins this.
+
+**Scalar functions are UDFs.**  Every declared :class:`FunctionSig`
+is registered via ``create_function`` (with its determinism flag) as a
+wrapper over the interpretation's *counting* callable, so
+``RunReport.function_calls`` stays meaningful; NULL arguments
+short-circuit to NULL without invoking the host function, exactly like
+the native compiled column expressions.
+
+**Enumerate/AdomK materialize.**  Inverse application and the [AB88]
+active-domain closure are not expressible in SQL: the compiler splits
+the plan at those nodes, the runner executes the child SQL, computes
+the rows host-side (through the same enumerator / cached closure the
+native engine uses), loads them into a temp table, and the outer SQL
+continues from that table.
+
+Plans or values the mapping cannot carry raise
+:class:`~repro.errors.BackendError`; the executor treats that as a
+fallback signal, so a backend gap can degrade performance but never
+correctness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.algebra.ast import AlgebraExpr, compare_values
+from repro.core.schema import DatabaseSchema
+from repro.data.instance import Instance
+from repro.data.interpretation import UNDEFINED, Interpretation
+from repro.data.relation import Relation
+from repro.engine.caches import closure_for
+from repro.errors import BackendError, EvaluationError
+from repro.obs.tracing import NULL_TRACER, SpanTracer
+from repro.backends.ir import (
+    FunctionSig,
+    IRAdomK,
+    IRAntiJoin,
+    IRApp,
+    IRCol,
+    IRCondition,
+    IRConst,
+    IRDiff,
+    IREnumerate,
+    IRExpr,
+    IRJoin,
+    IRLiteral,
+    IRNode,
+    IRParams,
+    IRProduct,
+    IRProject,
+    IRScan,
+    IRSelect,
+    IRUnion,
+    PlanIR,
+    Scalar,
+    _node_arity,
+    plan_to_ir,
+    walk_ir,
+)
+
+__all__ = ["CompiledSQL", "SQLiteRun", "compile_ir", "run_sqlite_plan",
+           "run_sqlite_ir"]
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+#: SQLite INTEGER is a signed 64-bit word; Python ints beyond it cannot
+#: be bound or stored.
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+_CMP_UDFS = {"<": "repro_lt", "<=": "repro_le",
+             ">": "repro_gt", ">=": "repro_ge"}
+
+#: Maximum plan depth compiled into a single statement.  SQLite's SQL
+#: parser has a fixed-size stack and rejects ~15 nested subqueries
+#: with "parser stack overflow" (EXPLAIN costs one more frame and dies
+#: at ~14).  A plan node can emit up to two nesting levels, so capping
+#: the recursion at 8 keeps every statement parseable with margin;
+#: deeper subtrees are split out as flat ``CREATE TEMP TABLE AS``
+#: steps, resetting the depth to zero.
+_NESTING_CAP = 8
+
+
+def _check_db_value(value: object, where: str) -> Scalar:
+    """Validate a value crossing into SQLite storage (BK002 otherwise).
+
+    ``None`` is rejected even though SQLite could store it: the native
+    value domain admits ``None`` (JSON ``null``) as an ordinary
+    constant, and storing it as NULL would silently change its
+    comparison semantics (``None = None`` holds natively, ``NULL =
+    NULL`` does not) — better no answer than a wrong one.
+    """
+    if value is None or value is UNDEFINED:
+        raise BackendError(
+            f"{where} contains {value!r}, which the NULL mapping reserves "
+            "for UNDEFINED", code="BK002",
+            hint="run instances containing null values on the native engine")
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            raise BackendError(
+                f"{where} contains integer {value} outside SQLite's 64-bit "
+                "range", code="BK002")
+        return value
+    if isinstance(value, (float, str)):
+        return value
+    raise BackendError(
+        f"{where} contains non-portable value {value!r} "
+        f"({type(value).__name__})", code="BK002")
+
+
+def _sql_literal(value: Scalar) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if "\x00" in value:
+        raise BackendError("string constants with NUL bytes cannot be "
+                           "rendered as SQL literals", code="BK002")
+    return "'" + value.replace("'", "''") + "'"
+
+
+def _udf_name(name: str) -> str:
+    if not _IDENT.match(name):
+        raise BackendError(
+            f"function name {name!r} cannot be registered as a SQL UDF",
+            code="BK004")
+    return f"f_{name}"
+
+
+@dataclass(frozen=True, slots=True)
+class _MatStep:
+    """One materialization break: run ``child_sql`` (if any), compute
+    the node's rows host-side, load them into ``table``.
+
+    With ``flat=True`` the step is pure SQL — ``CREATE TEMP TABLE AS
+    child_sql`` with no host round-trip — used to split statements
+    whose subquery nesting would overflow SQLite's parser stack."""
+
+    table: str
+    node: IRNode  # IREnumerate | IRAdomK | (any node when flat)
+    child_sql: str | None
+    child_arity: int
+    arity: int
+    flat: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledSQL:
+    """The data-independent output of :func:`compile_ir`.
+
+    ``sql`` is the final SELECT; ``scans`` lists the base relations it
+    (and the materialization steps) read; ``steps`` are executed in
+    order before the final query.
+    """
+
+    sql: str
+    scans: tuple[tuple[str, int], ...]
+    steps: tuple[_MatStep, ...]
+    functions: tuple[FunctionSig, ...]
+    arity: int
+
+    def statements(self) -> tuple[str, ...]:
+        """Every SELECT this compilation will run, setup steps first —
+        the EXPLAIN surface."""
+        return tuple(s.child_sql for s in self.steps
+                     if s.child_sql is not None) + (self.sql,)
+
+
+@dataclass
+class SQLiteRun:
+    """Result and measurements of one SQLite-backed execution."""
+
+    result: Relation
+    sql: str
+    compile_seconds: float
+    execute_seconds: float
+    function_calls: int
+    explain: tuple[str, ...] = ()
+    materialized_tables: int = 0
+
+
+class _Compiler:
+    """IR -> SQL text.  Pure string work: no connection, no data."""
+
+    def __init__(self) -> None:
+        self._alias = itertools.count()
+        self._mat = itertools.count()
+        self._depth = 0
+        self.steps: list[_MatStep] = []
+        self.scans: dict[str, int] = {}
+
+    def fresh(self, prefix: str) -> str:
+        return f"{prefix}{next(self._alias)}"
+
+    # -- expressions --------------------------------------------------
+
+    def expr(self, e: IRExpr, resolve: Callable[[int], str]) -> str:
+        if isinstance(e, IRCol):
+            return resolve(e.index)
+        if isinstance(e, IRConst):
+            return _sql_literal(_check_db_value(e.value, "plan constant"))
+        if isinstance(e, IRApp):
+            args = ", ".join(self.expr(a, resolve) for a in e.args)
+            return f'"{_udf_name(e.name)}"({args})'
+        raise BackendError(
+            f"unknown IR expression {type(e).__name__}", code="BK003")
+
+    def cond(self, c: IRCondition, resolve: Callable[[int], str]) -> str:
+        left = self.expr(c.left, resolve)
+        right = self.expr(c.right, resolve)
+        if c.op == "=":
+            # NULL = x is unknown; WHERE drops unknown — exactly the
+            # calculus ("an atom over UNDEFINED never holds").
+            return f"({left} = {right})"
+        if c.op == "!=":
+            # SQL unknown would drop the row here; the calculus keeps it.
+            return f"({left} IS NULL OR {right} IS NULL OR {left} <> {right})"
+        udf = _CMP_UDFS.get(c.op)
+        if udf is None:
+            raise BackendError(f"unknown comparison operator {c.op!r}",
+                               code="BK004")
+        # orderings delegate to compare_values: SQLite would order
+        # across types (2 < 'x'), the calculus says false.
+        return f'"{udf}"({left}, {right})'
+
+    def conds(self, cs: tuple[IRCondition, ...],
+              resolve: Callable[[int], str]) -> str:
+        return " AND ".join(self.cond(c, resolve) for c in cs)
+
+    # -- nodes --------------------------------------------------------
+
+    @staticmethod
+    def _outcols(arity: int) -> str:
+        if arity == 0:
+            return "0 AS u"
+        return ", ".join(f"c{i}" for i in range(1, arity + 1))
+
+    def node(self, n: IRNode) -> str:
+        # SQLite's SQL parser has a fixed stack (~800 frames, and each
+        # nested subquery costs several); a deeply right-leaning
+        # translated plan can overflow it ("parser stack overflow").
+        # Cap the nesting by materializing deep subtrees into temp
+        # tables — the subtree becomes its own statement, resetting
+        # the depth, with no host round-trip.
+        self._depth += 1
+        try:
+            if (self._depth > _NESTING_CAP
+                    and not isinstance(n, (IRScan, IRLiteral,
+                                           IREnumerate, IRAdomK))):
+                return self._flatten(n)
+            return self._node(n)
+        finally:
+            self._depth -= 1
+
+    def _flatten(self, n: IRNode) -> str:
+        saved = self._depth
+        self._depth = 0
+        try:
+            child_sql = self._node(n)
+        finally:
+            self._depth = saved
+        arity = _node_arity(n)
+        table = f"mat_{next(self._mat)}"
+        self.steps.append(_MatStep(table, n, child_sql, arity, arity,
+                                   flat=True))
+        return f'SELECT {self._outcols(arity)} FROM "{table}"'
+
+    def _node(self, n: IRNode) -> str:
+        if isinstance(n, IRScan):
+            if not _IDENT.match(n.name):
+                raise BackendError(
+                    f"relation name {n.name!r} cannot be used as a SQL "
+                    "table name", code="BK004")
+            if n.arity == 0:
+                raise BackendError("arity-0 base relations have no SQL "
+                                   "representation", code="BK004")
+            self.scans.setdefault(n.name, n.arity)
+            return f'SELECT {self._outcols(n.arity)} FROM "rel_{n.name}"'
+        if isinstance(n, IRLiteral):
+            return self._literal(n)
+        if isinstance(n, IRProject):
+            return self._project(n)
+        if isinstance(n, IRSelect):
+            child = self.node(n.child)
+            alias = self.fresh("s")
+            where = self.conds(n.conds, lambda i: f"{alias}.c{i}")
+            sql = f"SELECT * FROM ({child}) AS {alias}"
+            return f"{sql} WHERE {where}" if where else sql
+        if isinstance(n, (IRJoin, IRProduct)):
+            return self._join(n)
+        if isinstance(n, IRUnion):
+            left, right = self.node(n.left), self.node(n.right)
+            a, b = self.fresh("a"), self.fresh("b")
+            return (f"SELECT * FROM ({left}) AS {a} UNION "
+                    f"SELECT * FROM ({right}) AS {b}")
+        if isinstance(n, IRDiff):
+            left, right = self.node(n.left), self.node(n.right)
+            a, b = self.fresh("a"), self.fresh("b")
+            # safe because rows never carry NULL (see module docstring):
+            # EXCEPT treats NULLs as equal-for-dedup, the calculus
+            # would not.
+            return (f"SELECT * FROM ({left}) AS {a} EXCEPT "
+                    f"SELECT * FROM ({right}) AS {b}")
+        if isinstance(n, IRAntiJoin):
+            return self._anti_join(n)
+        if isinstance(n, (IREnumerate, IRAdomK)):
+            return self._materialize(n)
+        if isinstance(n, IRParams):
+            raise EvaluationError(
+                "plan contains an unbound parameter relation; call "
+                "bind_parameters(plan, rows) before executing")
+        raise BackendError(f"unknown IR node {type(n).__name__}",
+                           code="BK004")
+
+    def _literal(self, n: IRLiteral) -> str:
+        if n.arity == 0:
+            return "SELECT 0 AS u" if n.rows else "SELECT 0 AS u WHERE 0"
+        if not n.rows:
+            cols = ", ".join(f"NULL AS c{i}" for i in range(1, n.arity + 1))
+            return f"SELECT {cols} WHERE 0"
+        values = ", ".join(
+            "(" + ", ".join(_sql_literal(_check_db_value(v, "literal row"))
+                            for v in row) + ")"
+            for row in n.rows)
+        cols = ", ".join(f"column{i} AS c{i}" for i in range(1, n.arity + 1))
+        return f"SELECT {cols} FROM (VALUES {values})"
+
+    def _project(self, n: IRProject) -> str:
+        child = self.node(n.child)
+        alias = self.fresh("s")
+        resolve = lambda i: f"{alias}.c{i}"  # noqa: E731
+        if not n.exprs:
+            # arity-0 boolean: one row iff the child is non-empty
+            return f"SELECT DISTINCT 0 AS u FROM ({child}) AS {alias}"
+        cols = []
+        guards = []
+        for k, e in enumerate(n.exprs, start=1):
+            text = self.expr(e, resolve)
+            cols.append(f"{text} AS c{k}")
+            if _has_app(e):
+                # the engine invariant: UNDEFINED-bearing rows are
+                # dropped at the projection, never stored
+                guards.append(f"({text} IS NOT NULL)")
+        sql = f"SELECT DISTINCT {', '.join(cols)} FROM ({child}) AS {alias}"
+        if guards:
+            sql += f" WHERE {' AND '.join(guards)}"
+        return sql
+
+    def _join(self, n: IRJoin | IRProduct) -> str:
+        left, right = self.node(n.left), self.node(n.right)
+        a, b = self.fresh("a"), self.fresh("b")
+        la = n.left_arity
+        ra = n.arity - la
+
+        def resolve(i: int) -> str:
+            return f"{a}.c{i}" if i <= la else f"{b}.c{i - la}"
+
+        cols = [f"{a}.c{i} AS c{i}" for i in range(1, la + 1)]
+        cols += [f"{b}.c{j} AS c{la + j}" for j in range(1, ra + 1)]
+        head = ", ".join(cols) if cols else "DISTINCT 0 AS u"
+        sql = f"SELECT {head} FROM ({left}) AS {a}, ({right}) AS {b}"
+        if isinstance(n, IRJoin):
+            where = self.conds(n.conds, resolve)
+            if where:
+                sql += f" WHERE {where}"
+        return sql
+
+    def _anti_join(self, n: IRAntiJoin) -> str:
+        left, right = self.node(n.left), self.node(n.right)
+        a, b = self.fresh("a"), self.fresh("b")
+        la = n.arity
+
+        def resolve(i: int) -> str:
+            return f"{a}.c{i}" if i <= la else f"{b}.c{i - la}"
+
+        where = self.conds(n.conds, resolve) or "1"
+        # three-valued NOT EXISTS is exactly right under the NULL
+        # mapping: an unknown condition is not a match, so the probe
+        # row survives — same as compare_values over UNDEFINED.
+        return (f"SELECT * FROM ({left}) AS {a} WHERE NOT EXISTS "
+                f"(SELECT 1 FROM ({right}) AS {b} WHERE {where})")
+
+    def _materialize(self, n: IRNode) -> str:
+        table = f"mat_{next(self._mat)}"
+        if isinstance(n, IREnumerate):
+            child_sql: str | None = self.node(n.child)
+            child_arity = n.arity - n.out_count
+            arity = n.arity
+        elif isinstance(n, IRAdomK):
+            child_sql = None
+            child_arity = 0
+            arity = 1
+        else:  # pragma: no cover - guarded by the caller
+            raise BackendError(f"cannot materialize {type(n).__name__}",
+                               code="BK004")
+        self.steps.append(_MatStep(table, n, child_sql, child_arity, arity))
+        return f'SELECT {self._outcols(arity)} FROM "{table}"'
+
+
+def _has_app(e: IRExpr) -> bool:
+    if isinstance(e, IRApp):
+        return True
+    return False
+
+
+def compile_ir(ir: PlanIR) -> CompiledSQL:
+    """Lower a plan IR to SQL.  Pure (no connection, no data): the
+    output depends only on the IR, so compile time is data-independent
+    — E15 reports it separately on that basis."""
+    for node in walk_ir(ir.root):
+        if isinstance(node, IRParams):
+            raise EvaluationError(
+                "plan contains an unbound parameter relation; call "
+                "bind_parameters(plan, rows) before executing")
+    compiler = _Compiler()
+    sql = compiler.node(ir.root)
+    return CompiledSQL(
+        sql=sql,
+        scans=tuple(sorted(compiler.scans.items())),
+        steps=tuple(compiler.steps),
+        functions=ir.functions,
+        arity=ir.arity,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Runtime
+# ---------------------------------------------------------------------------
+
+def _register_functions(conn: sqlite3.Connection,
+                        functions: tuple[FunctionSig, ...],
+                        interpretation: Interpretation,
+                        failure: list[BackendError]) -> None:
+    for op, udf in _CMP_UDFS.items():
+        conn.create_function(udf, 2, _make_comparator(op), deterministic=True)
+    for sig in functions:
+        if sig.kind != "scalar":
+            continue  # enumerators run host-side during materialization
+        conn.create_function(_udf_name(sig.name), sig.arity,
+                             _make_udf(sig.name, interpretation, failure),
+                             deterministic=sig.deterministic)
+
+
+def _make_comparator(op: str) -> Callable[[Any, Any], int]:
+    def cmp(left: Any, right: Any) -> int:
+        lv = UNDEFINED if left is None else left
+        rv = UNDEFINED if right is None else right
+        return 1 if compare_values(op, lv, rv) else 0
+    return cmp
+
+
+def _make_udf(name: str, interpretation: Interpretation,
+              failure: list[BackendError]) -> Callable[..., Any]:
+    counted = interpretation[name]  # counting wrapper, hoisted once
+
+    def udf(*args: Any) -> Any:
+        # strict in NULL without calling the host function — mirrors
+        # compile_colexpr's UNDEFINED propagation
+        if any(a is None for a in args):
+            return None
+        out = counted(*args)
+        if out is UNDEFINED:
+            return None
+        # a raw None result is a *value* natively (only UNDEFINED is
+        # special); it cannot share NULL with UNDEFINED, so reject it.
+        # sqlite3 flattens exceptions from UDFs into a generic
+        # OperationalError, so park the coded error for run_sqlite_ir
+        # to re-raise with its diagnostics intact.
+        try:
+            return _check_db_value(out, f"result of function {name!r}")
+        except BackendError as err:
+            failure.append(err)
+            raise
+
+    return udf
+
+
+def _load_instance(conn: sqlite3.Connection,
+                   scans: tuple[tuple[str, int], ...],
+                   instance: Instance) -> None:
+    for name, arity in scans:
+        relation = instance.relation(name)
+        if relation.arity != arity:
+            raise EvaluationError(
+                f"relation {name!r} has arity {relation.arity}, "
+                f"plan expects {arity}")
+        _create_table(conn, f"rel_{name}", arity, relation.rows, name)
+
+
+def _create_table(conn: sqlite3.Connection, table: str, arity: int,
+                  rows: Any, where: str) -> None:
+    cols = ", ".join(f"c{i}" for i in range(1, arity + 1))
+    conn.execute(f'CREATE TEMP TABLE "{table}" ({cols})')
+    checked = [tuple(_check_db_value(v, f"relation {where!r}") for v in row)
+               for row in rows]
+    if checked:
+        marks = ", ".join("?" * arity)
+        conn.executemany(f'INSERT INTO "{table}" VALUES ({marks})', checked)
+
+
+def _eval_ir_expr(expr: IRExpr, row: tuple[Any, ...],
+                  interpretation: Interpretation) -> Any:
+    """Evaluate an IR column expression host-side (for materialization).
+    NULLs from SQL come back as UNDEFINED; applications are strict."""
+    if isinstance(expr, IRCol):
+        value = row[expr.index - 1]
+        return UNDEFINED if value is None else value
+    if isinstance(expr, IRConst):
+        return expr.value
+    if isinstance(expr, IRApp):
+        args = [_eval_ir_expr(a, row, interpretation) for a in expr.args]
+        if any(a is UNDEFINED for a in args):
+            return UNDEFINED
+        out = interpretation[expr.name](*args)
+        if out is None:
+            raise BackendError(
+                f"function {expr.name!r} returned None, which the NULL "
+                "mapping reserves for UNDEFINED", code="BK002")
+        return out
+    raise BackendError(
+        f"unknown IR expression {type(expr).__name__}", code="BK003")
+
+
+def _run_step(conn: sqlite3.Connection, step: _MatStep, instance: Instance,
+              interpretation: Interpretation,
+              schema: DatabaseSchema | None) -> None:
+    node = step.node
+    if step.flat:
+        # Depth-cap split: pure SQL, no host round-trip.
+        assert step.child_sql is not None
+        conn.execute(
+            f'CREATE TEMP TABLE "{step.table}" AS {step.child_sql}')
+        return
+    if isinstance(node, IRAdomK):
+        if schema is None:
+            raise EvaluationError("AdomK requires a schema")
+        closed = closure_for(instance, node.level, node.extras,
+                             interpretation, schema)
+        rows: list[tuple[Any, ...]] = [(v,) for v in closed]
+        _create_table(conn, step.table, 1, rows, "adom closure")
+        return
+    if isinstance(node, IREnumerate):
+        assert step.child_sql is not None
+        fetched = conn.execute(step.child_sql).fetchall()
+        child_rows: list[tuple[Any, ...]]
+        if step.child_arity == 0:
+            child_rows = [()] * len(fetched)
+        else:
+            child_rows = [tuple(r) for r in fetched]
+        enumerator = interpretation.enumerator(node.enumerator)
+        out: list[tuple[Any, ...]] = []
+        for row in child_rows:
+            values = [_eval_ir_expr(e, row, interpretation)
+                      for e in node.inputs]
+            if any(v is UNDEFINED for v in values):
+                continue
+            out.extend(row + tuple(derived)
+                       for derived in enumerator(*values))
+        _create_table(conn, step.table, step.arity, out,
+                      f"enumerator {node.enumerator!r}")
+        return
+    raise BackendError(  # pragma: no cover - compiler only emits the above
+        f"cannot materialize {type(node).__name__}", code="BK004")
+
+
+def run_sqlite_ir(ir: PlanIR, instance: Instance,
+                  interpretation: Interpretation,
+                  schema: DatabaseSchema | None = None,
+                  tracer: SpanTracer = NULL_TRACER) -> SQLiteRun:
+    """Compile ``ir`` to SQL and execute it on an in-memory SQLite
+    database, returning answers in the native tuple format.
+
+    :class:`BackendError` (unsupported plan/value) and ``sqlite3``
+    errors surface as :class:`BackendError`; genuine plan errors the
+    native engine would also raise (unbound parameters, missing
+    relations/functions) propagate as :class:`EvaluationError`.
+    ``tracer`` receives ``backend.compile`` and ``backend.execute``
+    spans.
+    """
+    start = time.perf_counter()
+    with tracer.span("backend.compile", backend="sqlite"):
+        compiled = compile_ir(ir)
+    compile_elapsed = time.perf_counter() - start
+
+    conn = sqlite3.connect(":memory:")
+    udf_failure: list[BackendError] = []
+    try:
+        start = time.perf_counter()
+        try:
+            with tracer.span("backend.execute", backend="sqlite"):
+                _register_functions(conn, compiled.functions, interpretation,
+                                    udf_failure)
+                _load_instance(conn, compiled.scans, instance)
+                for step in compiled.steps:
+                    _run_step(conn, step, instance, interpretation, schema)
+                try:
+                    explain = tuple(
+                        f"{detail}" for _, _, _, detail in
+                        conn.execute("EXPLAIN QUERY PLAN " + compiled.sql))
+                except sqlite3.Error as exc:
+                    # EXPLAIN parses one stack frame deeper than the
+                    # statement itself; diagnostics must never fail a
+                    # run the query would survive.
+                    explain = (f"explain unavailable: {exc}",)
+                fetched = conn.execute(compiled.sql).fetchall()
+        except sqlite3.Error as exc:
+            if udf_failure:
+                # sqlite3 reports any UDF exception as a bare
+                # "user-defined function raised exception"; the parked
+                # original carries the real code and hint
+                raise udf_failure[0] from exc
+            raise BackendError(
+                f"sqlite3 rejected the generated SQL: {exc}",
+                hint="the plan fell outside the SQL mapping; the native "
+                     "engine can run it") from exc
+        if compiled.arity == 0:
+            rows: set[tuple[Any, ...]] = {() for _ in fetched}
+        else:
+            rows = {tuple(r) for r in fetched}
+        for row in rows:
+            for value in row:
+                if value is None:
+                    raise BackendError(
+                        "NULL escaped into a result row — the UNDEFINED "
+                        "mapping was violated", code="BK002")
+        execute_elapsed = time.perf_counter() - start
+    finally:
+        conn.close()
+    return SQLiteRun(
+        result=Relation(compiled.arity, rows),
+        sql=compiled.sql,
+        compile_seconds=compile_elapsed,
+        execute_seconds=execute_elapsed,
+        function_calls=interpretation.call_count(),
+        explain=explain,
+        materialized_tables=len(compiled.steps),
+    )
+
+
+def run_sqlite_plan(plan: AlgebraExpr, instance: Instance,
+                    interpretation: Interpretation,
+                    catalog: Mapping[str, int],
+                    schema: DatabaseSchema | None = None,
+                    tracer: SpanTracer = NULL_TRACER) -> SQLiteRun:
+    """Convenience: export ``plan`` to IR, then :func:`run_sqlite_ir`."""
+    ir = plan_to_ir(plan, catalog, schema)
+    return run_sqlite_ir(ir, instance, interpretation, schema, tracer=tracer)

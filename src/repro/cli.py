@@ -293,7 +293,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     profile = ExecutionProfile(query=args.query) if args.analyze else None
     report = execute(result.plan, instance, interp, schema=result.schema,
                      profile=profile, batch_size=args.batch_size,
-                     optimize=args.optimize)
+                     optimize=args.optimize, backend=args.backend)
     print(f"plan:   {to_algebra_text(result.plan)}")
     print(f"stats:  {report.summary()}")
     for row in sorted(report.result.rows, key=repr)[:args.limit]:
@@ -303,9 +303,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if profile is not None:
         print()
         _print_rewrites(report)
-        print("explain analyze:")
-        print(render_explain_analyze(profile))
+        if report.backend != "native":
+            _print_backend(report)
+        else:
+            print("explain analyze:")
+            print(render_explain_analyze(profile))
     return 0
+
+
+def _print_backend(report) -> None:
+    """Render the backend's generated SQL and its own plan explanation
+    (per-operator EXPLAIN ANALYZE is native-only)."""
+    print(f"backend: {report.backend} "
+          f"(compiled in {report.backend_compile_seconds * 1e3:.2f} ms)")
+    print("generated SQL:")
+    print("  " + report.backend_sql)
+    if report.backend_explain:
+        print("explain query plan:")
+        for line in report.backend_explain:
+            print(f"  {line}")
 
 
 def _print_rewrites(report) -> None:
@@ -389,7 +405,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            cache_size=args.cache_size,
                            max_workers=args.workers,
                            default_timeout_s=args.timeout,
-                           optimize=args.optimize)
+                           optimize=args.optimize,
+                           backend=args.backend)
     with service:
         reports = service.run_many(requests)
     failures = 0
@@ -500,6 +517,14 @@ def _add_optimize(parser: argparse.ArgumentParser) -> None:
              "var, else on)")
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("native", "sqlite"), default=None,
+        help="execution engine (default: REPRO_BACKEND env var, else "
+             "the native batch engine); sqlite compiles the plan to SQL "
+             "and falls back to native on unsupported plans")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -558,6 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(estimated vs actual rows and timings)")
     _add_batch_size(run)
     _add_optimize(run)
+    _add_backend(run)
     run.set_defaults(fn=_cmd_run)
 
     profile = sub.add_parser(
@@ -596,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", metavar="OUT",
                        help="write reports + cache stats + metrics as JSON")
     _add_optimize(serve)
+    _add_backend(serve)
     serve.set_defaults(fn=_cmd_serve)
 
     bench_service = sub.add_parser(

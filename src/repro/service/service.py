@@ -158,6 +158,10 @@ class ServiceReport:
     plan_text: str | None = None
     timings: dict[str, float] = field(default_factory=dict)
     function_calls: int = 0
+    #: Which engine produced the result ("native" or "sqlite").
+    backend: str = "native"
+    #: Why a requested non-native backend fell back ("" = it did not).
+    backend_error: str = ""
 
     @property
     def ok(self) -> bool:
@@ -182,6 +186,10 @@ class ServiceReport:
             out["error"] = self.error
         if self.plan_text is not None:
             out["plan"] = self.plan_text
+        if self.backend != "native":
+            out["backend"] = self.backend
+        if self.backend_error:
+            out["backend_error"] = self.backend_error
         return out
 
     def summary(self) -> str:
@@ -207,7 +215,8 @@ class QueryService:
                  metrics: MetricsRegistry | None = None,
                  tracer: SpanTracer | None = None,
                  batch_size: int | None = None,
-                 optimize: bool | None = None):
+                 optimize: bool | None = None,
+                 backend: str | None = None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cache = PlanCache(cache_size, metrics=self.metrics)
@@ -221,6 +230,11 @@ class QueryService:
         # Cost-based rewrite pass for every execution this service runs;
         # None defers to REPRO_OPTIMIZE / the engine default (on).
         self.optimize = optimize
+        # Execution backend for every request; None defers to
+        # REPRO_BACKEND / the native engine.  Resolved eagerly so an
+        # unknown name fails at construction, not on the first request.
+        from repro.backends import resolve_backend
+        self.backend = resolve_backend(backend)
         self._instance = instance
         # Statistics memo: collected once per instance swap, not per
         # request (backed by the content-addressed engine cache, so
@@ -524,9 +538,12 @@ class QueryService:
                 interp = self._current_interp(outcome.schema)
                 run = execute(plan, instance, interp, schema=outcome.schema,
                               batch_size=self.batch_size,
-                              optimize=self.optimize)
+                              optimize=self.optimize,
+                              backend=self.backend, tracer=tracer)
                 if tracer.enabled:
                     span.attrs["rows"] = len(run.result)
+                    if run.backend != "native":
+                        span.attrs["backend"] = run.backend
         except ReproError as err:
             report.status = "error"
             report.error = str(err)
@@ -537,6 +554,8 @@ class QueryService:
 
         report.result = run.result
         report.function_calls = run.function_calls
+        report.backend = run.backend
+        report.backend_error = run.backend_error
         from repro.algebra.printer import to_algebra_text
         report.plan_text = to_algebra_text(outcome.plan)
         return report

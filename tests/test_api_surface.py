@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.analysis",
     "repro.service",
+    "repro.backends",
 ]
 
 MODULES = PACKAGES + [
@@ -47,6 +48,7 @@ MODULES = PACKAGES + [
     "repro.analysis.sanitizer",
     "repro.service.normalize", "repro.service.cache",
     "repro.service.service", "repro.service.bench",
+    "repro.backends.ir", "repro.backends.sqlite",
     "repro.workloads.gallery", "repro.workloads.practical",
     "repro.workloads.families", "repro.workloads.random_queries",
     "repro.errors", "repro.cli",

@@ -1,0 +1,216 @@
+"""Backend fallback and backend selection (PR 8 satellite).
+
+A :class:`~repro.errors.BackendError` from the SQLite backend is a
+*fallback* signal, not a failure: the native engine runs the same plan,
+the answer is still correct, and the report records why in
+``backend_error`` (and says so in ``summary()``).  Selection mistakes
+(``BK005`` unknown backend) are different — they raise eagerly, because
+silently running the wrong engine would be worse than an error.
+
+The forcing functions used here are real gaps, not mocks:
+
+* ``None`` is an ordinary value to the native engine but would collide
+  with the UNDEFINED-as-NULL mapping in SQL, so the backend refuses
+  instances and function results containing it (``BK002``);
+* integers beyond SQLite's 64-bit range cannot be stored faithfully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.ast import CApp, CConst, Col, Condition, Project, Rel, Select
+from repro.backends import KNOWN_BACKENDS, resolve_backend
+from repro.data.instance import Instance
+from repro.data.interpretation import Interpretation
+from repro.data.relation import Relation
+from repro.engine.executor import execute
+from repro.errors import BackendError
+from repro.service import QueryService
+from repro.workloads.gallery import (
+    gallery_instance,
+    standard_gallery_interp,
+)
+
+PLAIN = Instance({"R": Relation(1, [(1,), (2,), (3,)])})
+
+
+def _id_interp(**extra) -> Interpretation:
+    return Interpretation({"f": lambda v: v, **extra})
+
+
+class TestResolveBackend:
+    def test_default_is_native(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == "native"
+
+    def test_explicit_choice_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "native")
+        assert resolve_backend("sqlite") == "sqlite"
+
+    def test_env_fills_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "sqlite")
+        assert resolve_backend(None) == "sqlite"
+
+    def test_normalization(self):
+        assert resolve_backend("  SQLite ") == "sqlite"
+
+    def test_unknown_backend_is_bk005(self):
+        with pytest.raises(BackendError) as exc:
+            resolve_backend("duckdb")
+        assert exc.value.code == "BK005"
+        for name in KNOWN_BACKENDS:
+            assert name in str(exc.value)
+
+    def test_execute_raises_eagerly_on_unknown_backend(self):
+        with pytest.raises(BackendError) as exc:
+            execute(Rel("R"), PLAIN, _id_interp(), backend="duckdb")
+        assert exc.value.code == "BK005"
+
+    def test_service_raises_eagerly_on_unknown_backend(self):
+        with pytest.raises(BackendError) as exc:
+            QueryService(PLAIN, backend="duckdb")
+        assert exc.value.code == "BK005"
+
+
+class TestExecutorFallback:
+    def test_none_valued_instance_falls_back(self):
+        instance = Instance({"R": Relation(1, [(1,), (None,)])})
+        plan = Rel("R")
+        native = execute(plan, instance, _id_interp())
+        run = execute(plan, instance, _id_interp(), backend="sqlite")
+        assert run.backend == "native"
+        assert run.backend_error
+        assert "BK002" in run.backend_error
+        assert run.result == native.result, "fallback must not change the answer"
+
+    def test_none_returning_function_falls_back(self):
+        # Natively f(x) = None is an ordinary value equal to CConst(None);
+        # SQL cannot tell that None from UNDEFINED, so the backend
+        # refuses rather than quietly flipping the comparison.
+        interp = Interpretation({"f": lambda v: None})
+        plan = Select(frozenset({Condition(CApp("f", (Col(1),)), "=",
+                                           CConst(None))}), Rel("R"))
+        native = execute(plan, PLAIN, interp)
+        assert len(native.result) == 3      # the divergence the gap guards
+        run = execute(plan, PLAIN, interp, backend="sqlite")
+        assert run.backend == "native" and "BK002" in run.backend_error
+        assert run.result == native.result
+
+    def test_none_result_at_runtime_keeps_its_code(self):
+        # Here None only surfaces while SQLite is evaluating the UDF;
+        # sqlite3 flattens the exception to a generic OperationalError,
+        # but the report must still carry the parked BK002, not BK000.
+        interp = Interpretation({"f": lambda v: None})
+        cond = Condition(CApp("f", (Col(1),)), "=", CApp("f", (Col(1),)))
+        plan = Select(frozenset({cond}), Rel("R"))
+        native = execute(plan, PLAIN, interp)
+        run = execute(plan, PLAIN, interp, backend="sqlite")
+        assert run.backend == "native" and "BK002" in run.backend_error
+        assert run.result == native.result
+
+    def test_out_of_range_int_falls_back(self):
+        instance = Instance({"R": Relation(1, [(2 ** 64,)])})
+        run = execute(Rel("R"), instance, _id_interp(), backend="sqlite")
+        assert run.backend == "native" and "BK002" in run.backend_error
+        assert run.result.rows == frozenset({(2 ** 64,)})
+
+    def test_summary_mentions_the_fallback(self):
+        instance = Instance({"R": Relation(1, [(None,)])})
+        run = execute(Rel("R"), instance, _id_interp(), backend="sqlite")
+        text = run.summary()
+        assert "backend fell back to native" in text
+        assert "backend: sqlite" not in text, \
+            "a fallen-back run must not claim it ran on sqlite"
+
+    def test_function_calls_reflect_the_native_run_only(self):
+        # The sqlite attempt may call f before failing; the report's
+        # count must cover the engine that produced the answer.
+        interp = Interpretation({"f": lambda v: None if v == 3 else v})
+        plan = Project((CApp("f", (Col(1),)),), Rel("R"))
+        run = execute(plan, PLAIN, interp, backend="sqlite")
+        assert run.backend == "native" and run.backend_error
+        assert run.function_calls == 3
+
+    def test_successful_sqlite_run_reports_itself(self):
+        run = execute(Project((Col(1),), Rel("R")), PLAIN, _id_interp(),
+                      backend="sqlite")
+        assert run.backend == "sqlite"
+        assert not run.backend_error
+        assert "SELECT" in run.backend_sql
+        assert run.backend_compile_seconds >= 0.0
+        assert "backend: sqlite" in run.summary()
+
+
+class TestDeepPlansStayOnSqlite:
+    """SQLite's parser has a fixed stack (~15 nested subqueries, one
+    less under EXPLAIN).  Deep plans must not fall back: the compiler
+    splits subtrees past ``_NESTING_CAP`` into flat ``CREATE TEMP
+    TABLE AS`` steps so every emitted statement stays shallow."""
+
+    @staticmethod
+    def _deep_plan(levels: int):
+        plan = Rel("R")
+        for i in range(levels):
+            plan = Select(frozenset({Condition(Col(1), ">=",
+                                               CConst(-(i + 1)))}), plan)
+        return plan
+
+    def test_deep_select_chain_runs_on_sqlite(self):
+        plan = self._deep_plan(60)
+        run = execute(plan, PLAIN, _id_interp(), backend="sqlite")
+        assert run.backend == "sqlite", run.backend_error
+        assert run.result.rows == frozenset({(1,), (2,), (3,)})
+
+    def test_flattening_keeps_every_statement_shallow(self):
+        from repro.backends.ir import plan_to_ir
+        from repro.backends.sqlite import compile_ir
+        from repro.engine.executor import plan_catalog
+
+        plan = self._deep_plan(60)
+        ir = plan_to_ir(plan, plan_catalog(plan, PLAIN, None))
+        compiled = compile_ir(ir)
+        flat = [s for s in compiled.steps if s.flat]
+        assert flat, "a 60-level plan must trigger the depth cap"
+        for statement in compiled.statements():
+            depth = peak = 0
+            for ch in statement:
+                if ch == "(":
+                    depth += 1
+                    peak = max(peak, depth)
+                elif ch == ")":
+                    depth -= 1
+            assert peak <= 12, \
+                f"statement nests {peak} deep; EXPLAIN dies at ~14"
+
+    def test_shallow_plans_emit_no_flat_steps(self):
+        from repro.backends.ir import plan_to_ir
+        from repro.backends.sqlite import compile_ir
+        from repro.engine.executor import plan_catalog
+
+        plan = self._deep_plan(3)
+        ir = plan_to_ir(plan, plan_catalog(plan, PLAIN, None))
+        assert not any(s.flat for s in compile_ir(ir).steps)
+
+
+class TestServiceFallback:
+    def test_service_reports_fallback(self):
+        instance = Instance({"R": Relation(1, [(1,), (None,)]),
+                             "S": Relation(1, [(1,)])})
+        with QueryService(instance, interpretation=_id_interp(),
+                          backend="sqlite") as svc:
+            report = svc.run("{ x | R(x) }")
+        assert report.ok
+        assert report.backend == "native"
+        assert "BK002" in report.backend_error
+        assert report.to_dict()["backend_error"] == report.backend_error
+
+    def test_service_sqlite_success(self):
+        with QueryService(gallery_instance(),
+                          interpretation=standard_gallery_interp(),
+                          backend="sqlite") as svc:
+            report = svc.run("{ x | R(x) & ~T(x) }")
+        assert report.ok
+        assert report.backend == "sqlite"
+        assert not report.backend_error
+        assert report.to_dict()["backend"] == "sqlite"

@@ -1,18 +1,30 @@
-"""Differential test harness: three independent implementations of the
-same semantics are swept against each other over a seeded random corpus
-and the paper gallery.
+"""Differential test harness: independent implementations of the same
+semantics are swept against each other over a seeded random corpus and
+the paper gallery.
 
 For every corpus query the harness compares
 
 * the **reference calculus evaluator** (``evaluate_query`` — direct
   active-domain enumeration, the semantic ground truth),
-* the **physical executor** running the translated algebra plan, and
+* the **physical executor** running the translated algebra plan,
+* the **SQLite backend** (the plan exported to IR, lowered to SQL, run
+  on stdlib ``sqlite3`` — the three-way oracle leg; a sqlite report
+  must really come from sqlite, so silent fallback to the native
+  engine fails the sweep), and
 * the **query service**, both on a cold cache and on a warm cache
   (so a caching bug that corrupts or cross-wires plans shows up as a
   divergence, not a silent wrong answer).
 
-Any mismatch fails with the query text, the seed, and both result sets,
-so a failure is reproducible from the message alone:
+On top of the random corpus, ``TestHeavyCasesThreeWay`` pins
+hand-picked UNDEFINED-heavy (partial scalar functions undefined on
+half the domain) and scalar-function-heavy (nested applications in
+join keys, negations, and anti-join conditions) queries across all
+three evaluators — the cases where the UNDEFINED-as-NULL mapping has
+the most room to go wrong.
+
+Any mismatch fails with the query text, the seed, the generated SQL
+(for the sqlite leg), and both result sets, so a failure is
+reproducible from the message alone:
 
     PYTHONPATH=src python -m pytest "tests/test_differential.py" \\
         -k "chunk0"
@@ -29,7 +41,13 @@ import os
 
 import pytest
 
+from repro.core.parser import parse_query
 from repro.data.generators import random_instance, standard_functions
+from repro.data.interpretation import (
+    UNDEFINED,
+    Interpretation,
+    partial_function,
+)
 from repro.engine.executor import execute
 from repro.errors import EvaluationError
 from repro.semantics.eval_calculus import evaluate_query, query_schema
@@ -80,6 +98,28 @@ def _mismatch(kind: str, seed: int, text: str, want, got) -> str:
             f"  got:       {_sorted_rows(got)}")
 
 
+def _sql_mismatch(kind: str, seed: int, text: str, sql: str,
+                  want, got) -> str:
+    return (_mismatch(kind, seed, text, want, got)
+            + f"\n  sql:       {sql}")
+
+
+def _run_sqlite_leg(plan, schema, instance, interp, seed: int, text: str,
+                    reference) -> None:
+    """Execute ``plan`` through the sqlite backend and hold it to the
+    reference answer.  A fallback to the native engine would make the
+    comparison vacuous, so it fails the sweep too."""
+    run = execute(plan, instance, interp, schema=schema, backend="sqlite")
+    assert run.backend == "sqlite" and not run.backend_error, (
+        f"sqlite leg fell back to the native engine\n"
+        f"  seed:   {seed}\n"
+        f"  query:  {text}\n"
+        f"  reason: {run.backend_error}")
+    assert run.result == reference, \
+        _sql_mismatch("sqlite-vs-reference", seed, text, run.backend_sql,
+                      reference, run.result)
+
+
 def _fixture(seed: int):
     """Deterministic (query, schema, instance, interpretation) per seed."""
     from repro.core.printer import to_text
@@ -113,7 +153,12 @@ class TestRandomCorpusDifferential:
                 _mismatch("executor-vs-reference", seed, text,
                           reference, run.result)
 
-            # Leg 2: the service, cold then warm, on the same data.
+            # Leg 2: the same plan through the SQLite backend — the
+            # three-way oracle (reference vs native vs SQL lowering).
+            _run_sqlite_leg(result.plan, result.schema, instance, interp,
+                            seed, text, reference)
+
+            # Leg 3: the service, cold then warm, on the same data.
             with QueryService(instance, interpretation=interp) as svc:
                 cold = svc.run(text)
                 warm = svc.run(text)
@@ -146,6 +191,9 @@ class TestGalleryDifferential:
             _mismatch("executor-vs-reference", -1, entry.text,
                       reference, run.result)
 
+        _run_sqlite_leg(result.plan, result.schema, instance, interp,
+                        -1, entry.text, reference)
+
         with QueryService(instance, interpretation=interp) as svc:
             cold = svc.run(entry.text)
             warm = svc.run(entry.text)
@@ -156,6 +204,86 @@ class TestGalleryDifferential:
         assert warm.result == reference, \
             _mismatch("service-warm-vs-reference", -1, entry.text,
                       reference, warm.result)
+
+
+#: Hand-picked three-way cases over the gallery instance: comparisons,
+#: negations, join keys, projected heads, anti-joins, and nested
+#: applications of scalar functions — each is where the SQLite
+#: UNDEFINED-as-NULL mapping has the most room to diverge from the
+#: calculus semantics.
+HEAVY_CASES = (
+    ("partial-eq", "{ x | R(x) & f(x) = x }"),
+    ("partial-neq", "{ x | R(x) & f(x) != x }"),
+    ("partial-negated-eq", "{ x | R(x) & ~(f(x) = x) }"),
+    ("partial-ordering", "{ x | R(x) & f(x) < g(x) }"),
+    ("partial-head", "{ f(x) | R(x) }"),
+    ("partial-join-key", "{ x, y | R(x) & R2(x, y) & f(x) = y }"),
+    ("partial-anti-join",
+     "{ x | R(x) & ~exists y (R2(x, y) & f(x) = y) }"),
+    ("function-join", "{ x | R(x) & exists y (R(y) & f(x) = g(y)) }"),
+    ("nested-apps", "{ x | R(x) & f(g(f(x))) != h(x) }"),
+    ("diff-with-function", "{ x | R(x) & ~T(x) & f(x) != x }"),
+)
+
+
+def _heavy_interp() -> Interpretation:
+    """The gallery functions made *partial*: UNDEFINED on every even
+    argument, so half the active domain trips the undefined path."""
+    def odd_only(scale: int, shift: int):
+        return partial_function(
+            lambda v: None if v % 2 == 0 else (v * scale + shift) % 20)
+    return Interpretation({
+        "f": odd_only(7, 1),
+        "g": odd_only(3, 2),
+        "h": odd_only(5, 3),
+        "k": odd_only(11, 4),
+        "plus1": lambda v: v + 1,
+    }, name="gallery-partial")
+
+
+class TestHeavyCasesThreeWay:
+    """UNDEFINED-heavy and scalar-function-heavy queries pinned across
+    the reference evaluator, the native executor, and the SQLite
+    backend.  Each case runs under the gallery's total interpretation
+    *and* under a partial one (f/g/h/k undefined on even arguments), so
+    the NULL mapping is exercised in comparisons, join keys, projected
+    heads, and anti-joins — including the NULL <> NULL trap in
+    EXCEPT/NOT EXISTS."""
+
+    @pytest.mark.parametrize("interp_kind", ["total", "partial"])
+    @pytest.mark.parametrize("key,text", HEAVY_CASES,
+                             ids=[k for k, _ in HEAVY_CASES])
+    def test_three_way_agreement(self, key, text, interp_kind):
+        query = parse_query(text)
+        instance = gallery_instance()
+        interp = (standard_gallery_interp() if interp_kind == "total"
+                  else _heavy_interp())
+        reference = evaluate_query(query, instance, interp)
+        result = translate_query(query)
+        run = execute(result.plan, instance, interp, schema=result.schema)
+        assert run.result == reference, \
+            _mismatch(f"executor-vs-reference[{interp_kind}]", -1, text,
+                      reference, run.result)
+        _run_sqlite_leg(result.plan, result.schema, instance, interp,
+                        -1, text, reference)
+
+    def test_partial_interp_really_is_partial(self):
+        interp = _heavy_interp()
+        assert interp.raw("f")(2) is UNDEFINED
+        assert interp.raw("f")(3) is not UNDEFINED
+
+    def test_undefined_changes_answers(self):
+        # Guard: the partial interpretation must actually flip at least
+        # one case's answer, or the partial sweep proves nothing.
+        instance = gallery_instance()
+        flipped = 0
+        for _, text in HEAVY_CASES:
+            query = parse_query(text)
+            total = evaluate_query(query, instance,
+                                   standard_gallery_interp())
+            part = evaluate_query(query, instance, _heavy_interp())
+            flipped += total != part
+        assert flipped >= 1, "partial interpretation never changed a result"
 
 
 #: Engine rows-per-batch values the invariance sweep proves equivalent:
