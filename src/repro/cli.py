@@ -293,7 +293,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     profile = ExecutionProfile(query=args.query) if args.analyze else None
     report = execute(result.plan, instance, interp, schema=result.schema,
                      profile=profile, batch_size=args.batch_size,
-                     optimize=args.optimize, backend=args.backend)
+                     optimize=args.optimize, backend=args.backend,
+                     batch_repr=args.batch_repr)
     print(f"plan:   {to_algebra_text(result.plan)}")
     print(f"stats:  {report.summary()}")
     for row in sorted(report.result.rows, key=repr)[:args.limit]:
@@ -352,7 +353,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         report = execute(result.plan, instance, interp,
                          schema=result.schema, profile=profile,
                          batch_size=args.batch_size,
-                         optimize=args.optimize)
+                         optimize=args.optimize,
+                         batch_repr=args.batch_repr)
     metrics.gauge("plan.size").set(result.plan_size)
     metrics.counter("trace.steps").inc(len(result.trace))
     metrics.counter("operator.rows").inc(profile.total_rows())
@@ -453,7 +455,8 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
 
     measurements = run_service_bench(repeat=args.repeat,
                                      batch_sizes=tuple(args.batch),
-                                     engine_batch_size=args.batch_size)
+                                     engine_batch_size=args.batch_size,
+                                     engine_batch_repr=args.batch_repr)
     print(render_service_bench(measurements))
     return 0
 
@@ -525,6 +528,14 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
              "and falls back to native on unsupported plans")
 
 
+def _add_batch_repr(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-repr", choices=("tuple", "column"), default=None,
+        help="engine batch representation (default: REPRO_BATCH_REPR "
+             "env var, else tuple); column runs NumPy-vectorized "
+             "kernels and falls back to tuple batches without NumPy")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -584,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_size(run)
     _add_optimize(run)
     _add_backend(run)
+    _add_batch_repr(run)
     run.set_defaults(fn=_cmd_run)
 
     profile = sub.add_parser(
@@ -598,6 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the profile/span/metrics bundle as JSON")
     _add_batch_size(profile)
     _add_optimize(profile)
+    _add_batch_repr(profile)
     profile.set_defaults(fn=_cmd_profile)
 
     serve = sub.add_parser(
@@ -635,6 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
                                default=[1, 8, 64],
                                help="parameter batch sizes (default 1 8 64)")
     _add_batch_size(bench_service)
+    _add_batch_repr(bench_service)
     bench_service.set_defaults(fn=_cmd_bench_service)
 
     stats = sub.add_parser(

@@ -10,8 +10,24 @@ Between translation and planning sits the cost-based logical rewrite
 pass (:mod:`repro.engine.rewrite`; on by default, ``REPRO_OPTIMIZE=0``
 disables), fed by cached per-instance statistics and term closures
 (:mod:`repro.engine.caches`).
+
+The batch representation operators exchange is pluggable
+(:mod:`repro.engine.batches`): plain tuple lists (default) or
+NumPy-backed column batches with vectorized per-operator kernels
+(``batch_repr="column"`` / ``REPRO_BATCH_REPR``), falling back to
+tuple batches with a coded diagnostic when NumPy is unavailable.
 """
 
+from repro.engine.batches import (
+    BATCH_REPRS,
+    COLUMNAR_UNAVAILABLE,
+    DEFAULT_BATCH_REPR,
+    ColumnBatch,
+    columnar_available,
+    columnar_unavailable_reason,
+    default_batch_repr,
+    resolve_batch_repr,
+)
 from repro.engine.caches import (
     clear_engine_caches,
     closure_for,
@@ -45,6 +61,9 @@ from repro.engine.stats import (
 __all__ = [
     "execute", "RunReport", "OpCounters", "ProfiledOp",
     "DEFAULT_BATCH_SIZE", "default_batch_size",
+    "BATCH_REPRS", "DEFAULT_BATCH_REPR", "COLUMNAR_UNAVAILABLE",
+    "ColumnBatch", "columnar_available", "columnar_unavailable_reason",
+    "default_batch_repr", "resolve_batch_repr",
     "build_physical_plan", "plan_catalog",
     "collect_stats", "TableStats", "InstanceStats",
     "estimate_cardinality", "choose_build_sides", "ENUMERATE_FANOUT",

@@ -121,14 +121,17 @@ def clear_engine_caches() -> None:
     """Drop all cached statistics and closures (idempotent).
 
     Hit/miss counters are reset too, so :func:`engine_cache_info`
-    reflects only activity since the last clear.
+    reflects only activity since the last clear.  The columnar scan
+    cache (relations converted to column layout) is dropped alongside.
     """
+    from repro.engine.batches import clear_columnar_cache
     with _lock:
         _stats_cache.clear()
         _closure_cache.clear()
         for counter in (_hits, _misses):
             for name in counter:
                 counter[name] = 0
+    clear_columnar_cache()
 
 
 def engine_cache_info() -> dict:

@@ -23,17 +23,30 @@ The compiled closures preserve the evaluator's semantics exactly:
 
 from __future__ import annotations
 
+from itertools import repeat
 from operator import itemgetter
-from typing import Callable, Hashable
+from typing import Any, Callable, Hashable
 
 from repro.algebra.ast import CApp, CConst, Col, ColExpr, Condition, compare_values
 from repro.data.interpretation import Interpretation, UNDEFINED
+from repro.engine.batches import (
+    Column,
+    ColumnBatch,
+    ColumnarFallback,
+    Const,
+    column_from_values,
+    compare_columns,
+    const_column,
+)
 from repro.errors import EvaluationError
 
 __all__ = [
     "compile_colexpr",
     "compile_predicate",
     "compile_projection",
+    "compile_colexpr_columnar",
+    "compile_predicate_columnar",
+    "compile_projection_columnar",
     "may_be_undefined",
 ]
 
@@ -165,3 +178,149 @@ def compile_projection(exprs: tuple[ColExpr, ...],
         fn0 = fns[0]
         return lambda row: (fn0(row),)
     return lambda row: tuple(fn(row) for fn in fns)
+
+
+# ---------------------------------------------------------------------------
+# Columnar compilation
+# ---------------------------------------------------------------------------
+#
+# The columnar counterparts compile the same expression trees into
+# ``batch -> Column`` closures over :class:`ColumnBatch`.  Column
+# references are zero-copy (the batch's own array), constants stay
+# scalar (:class:`Const`) so comparisons take the array-vs-scalar fast
+# path, and function applications call the host function per *defined*
+# element with UNDEFINED tracked in the column mask rather than rebuilt
+# row tuples.  A kernel that meets values it cannot represent raises
+# :class:`ColumnarFallback` at runtime; the operator then reruns that
+# one batch through the row closures above, so compilation itself never
+# fails.
+
+#: A compiled columnar expression: batch -> Column | Const.
+BatchFn = Callable[[ColumnBatch], "Column | Const"]
+
+
+def compile_colexpr_columnar(expr: ColExpr,
+                             interpretation: Interpretation) -> BatchFn:
+    """Compile one column expression into a ``batch -> column`` kernel."""
+    if isinstance(expr, Col):
+        index = expr.index - 1
+
+        def col(batch: ColumnBatch) -> Column:
+            try:
+                return batch.columns[index]
+            except IndexError:
+                raise EvaluationError(
+                    f"column @{index + 1} out of range for row of width "
+                    f"{batch.arity}") from None
+
+        return col
+    if isinstance(expr, CConst):
+        constant = Const(expr.value)
+        return lambda batch: constant
+    if isinstance(expr, CApp):
+        fn = interpretation[expr.name]   # counting wrapper, hoisted once
+        arg_fns = tuple(
+            compile_colexpr_columnar(a, interpretation) for a in expr.args)
+
+        def apply(batch: ColumnBatch) -> Column:
+            n = len(batch)
+            streams = []
+            for arg_fn in arg_fns:
+                arg = arg_fn(batch)
+                if isinstance(arg, Const):
+                    streams.append(repeat(arg.value, n))
+                else:
+                    streams.append(arg.pylist())
+            values: list[Any] = []
+            mask: list[bool] = []
+            add_value = values.append
+            add_mask = mask.append
+            if len(streams) == 1:
+                for v in streams[0]:
+                    if v is UNDEFINED:
+                        result: Any = UNDEFINED
+                    else:
+                        result = fn(v)
+                    if result is UNDEFINED:
+                        add_value(None)
+                        add_mask(True)
+                    else:
+                        add_value(result)
+                        add_mask(False)
+            else:
+                for args in zip(*streams):
+                    if any(a is UNDEFINED for a in args):
+                        result = UNDEFINED
+                    else:
+                        result = fn(*args)
+                    if result is UNDEFINED:
+                        add_value(None)
+                        add_mask(True)
+                    else:
+                        add_value(result)
+                        add_mask(False)
+            column = column_from_values(values, mask)
+            if column is None:
+                raise ColumnarFallback(
+                    f"result of {expr.name} is not array-representable")
+            return column
+
+        return apply
+    raise TypeError(f"not a column expression: {expr!r}")
+
+
+def compile_predicate_columnar(conds: frozenset[Condition],
+                               interpretation: Interpretation
+                               ) -> Callable[[ColumnBatch], Any] | None:
+    """Compile a conjunction into one ``batch -> bool-mask`` kernel, or
+    ``None`` for the empty (always-true) conjunction.
+
+    Unlike the row closure, the mask kernel evaluates **every**
+    condition over **every** row — there is no short-circuit AND — so
+    ``function_calls`` may exceed the tuple path's on batches where an
+    earlier condition already failed.  Answers are unaffected (the
+    masks are ANDed), and comparison counting for joins is handled by
+    the operators, not here.
+    """
+    compiled = tuple(
+        (compile_colexpr_columnar(c.left, interpretation), c.op,
+         compile_colexpr_columnar(c.right, interpretation))
+        for c in sorted(conds, key=str)
+    )
+    if not compiled:
+        return None
+
+    def mask_of(batch: ColumnBatch) -> Any:
+        n = len(batch)
+        out = None
+        for left, op, right in compiled:
+            mask = compare_columns(op, left(batch), right(batch), n)
+            out = mask if out is None else out & mask
+        return out
+
+    return mask_of
+
+
+def compile_projection_columnar(exprs: tuple[ColExpr, ...],
+                                interpretation: Interpretation
+                                ) -> Callable[[ColumnBatch], ColumnBatch]:
+    """Compile an extended projection into one ``batch -> batch``
+    kernel.
+
+    Pure column references are zero-copy; function applications return
+    masked columns.  The caller drops rows whose combined mask is set
+    (set semantics: no domain value equals an undefined application).
+    """
+    fns = tuple(compile_colexpr_columnar(e, interpretation) for e in exprs)
+
+    def project(batch: ColumnBatch) -> ColumnBatch:
+        n = len(batch)
+        columns = []
+        for fn in fns:
+            column = fn(batch)
+            if isinstance(column, Const):
+                column = const_column(column.value, n)
+            columns.append(column)
+        return ColumnBatch(tuple(columns), n)
+
+    return project

@@ -19,6 +19,7 @@ from repro.core.schema import DatabaseSchema
 from repro.data.instance import Instance
 from repro.data.interpretation import Interpretation
 from repro.data.relation import Relation
+from repro.engine.batches import resolve_batch_repr
 from repro.engine.caches import stats_for
 from repro.engine.operators import OpCounters
 from repro.engine.planner import build_physical_plan
@@ -67,6 +68,13 @@ class RunReport:
     #: The backend's own plan explanation (SQLite: EXPLAIN QUERY PLAN
     #: detail lines), for ``run --analyze``.
     backend_explain: tuple[str, ...] = ()
+    #: The batch representation the native engine actually ran with:
+    #: "tuple" or "column".
+    batch_repr: str = "tuple"
+    #: Why a requested column representation fell back to tuple batches
+    #: ("" = no fallback happened) — the coded CB001 diagnostic when
+    #: NumPy is unavailable.  When set, ``batch_repr`` is "tuple".
+    batch_repr_error: str = ""
 
     @property
     def intermediate_rows(self) -> int:
@@ -93,6 +101,14 @@ class RunReport:
         if self.backend_error:
             first_line = self.backend_error.splitlines()[0]
             text += f"; backend fell back to native: {first_line}"
+        if self.batch_repr != "tuple":
+            kernels = self.counters.kernel_batches
+            fallbacks = self.counters.fallback_batches
+            text += (f"; batch repr: {self.batch_repr} "
+                     f"({kernels} kernel / {fallbacks} fallback batches)")
+        if self.batch_repr_error:
+            text += (f"; column batches fell back to tuple: "
+                     f"{self.batch_repr_error.splitlines()[0]}")
         return text
 
 
@@ -117,6 +133,7 @@ def execute(expr: AlgebraExpr, instance: Instance,
             batch_size: int | None = None,
             optimize: bool | None = None,
             backend: str | None = None,
+            batch_repr: str | None = None,
             tracer: SpanTracer = NULL_TRACER) -> RunReport:
     """Optimize, plan, and run ``expr``, returning the result with
     measurements.
@@ -155,11 +172,20 @@ def execute(expr: AlgebraExpr, instance: Instance,
     profiling is native-only; a profiled sqlite request still fills the
     top-level result fields.  ``tracer`` receives the backend's
     ``backend.compile``/``backend.execute`` spans.
+
+    ``batch_repr`` selects the native engine's batch representation
+    (``None`` defers to ``REPRO_BATCH_REPR``, default ``tuple``).
+    Requesting ``column`` without NumPy is a *fallback*, not an error:
+    the engine runs on tuple batches and the report records the coded
+    diagnostic in ``batch_repr_error`` — mirroring the backend-fallback
+    contract.  An unknown name raises eagerly.  The representation is
+    native-engine-only; a run served by the sqlite backend ignores it.
     """
     from repro.backends import resolve_backend
     from repro.backends.sqlite import run_sqlite_plan
 
     backend_name = resolve_backend(backend)
+    resolved_repr, repr_reason = resolve_batch_repr(batch_repr)
     interpretation.reset_counts()
     counters = OpCounters()
     plan = expr
@@ -226,7 +252,8 @@ def execute(expr: AlgebraExpr, instance: Instance,
             plan_types = None  # un-typable plan: profile without facts
     physical = build_physical_plan(plan, instance, interpretation, schema,
                                    counters, profile, batch_size=batch_size,
-                                   shared=shared, plan_types=plan_types)
+                                   shared=shared, plan_types=plan_types,
+                                   batch_repr=resolved_repr)
     start = time.perf_counter()
     rows: set[tuple] = set()
     while (batch := physical.next_batch()) is not None:
@@ -248,4 +275,6 @@ def execute(expr: AlgebraExpr, instance: Instance,
         optimizer_error=optimizer_error,
         failed_rewrites=failed_rewrites,
         backend_error=backend_error,
+        batch_repr=resolved_repr,
+        batch_repr_error=repr_reason,
     )

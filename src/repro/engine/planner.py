@@ -65,6 +65,7 @@ from repro.engine.operators import (
     SharedSubplan,
     UnionOp,
 )
+from repro.engine.batches import resolve_batch_repr
 from repro.engine.operators import default_batch_size
 from repro.engine.optimizer import match_anti_join
 from repro.errors import EvaluationError
@@ -104,12 +105,21 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
                         profile: ExecutionProfile | None = None,
                         batch_size: int | None = None,
                         shared: frozenset | None = None,
-                        plan_types=None) -> PhysicalOp:
+                        plan_types=None,
+                        batch_repr: str | None = None) -> PhysicalOp:
     """Compile an algebra expression into an executable operator tree.
 
     ``batch_size`` sets the rows-per-batch of every source operator in
     the tree; ``None`` resolves :func:`default_batch_size` once per plan
     (the ``REPRO_BATCH_SIZE`` environment variable, else 1024).
+
+    ``batch_repr`` picks the batch representation every operator in the
+    tree exchanges (``"tuple"`` or ``"column"``); ``None`` resolves
+    :func:`~repro.engine.batches.default_batch_repr` once per plan (the
+    ``REPRO_BATCH_REPR`` environment variable, else tuple).  Requesting
+    ``column`` without NumPy silently resolves to ``tuple`` here — the
+    executor resolves first and reports the coded fallback on its
+    :class:`~repro.engine.executor.RunReport`.
 
     ``shared`` (from :func:`repro.engine.rewrite.shared_subplans`) lists
     structurally repeated subplans: the first occurrence is built
@@ -137,10 +147,12 @@ def build_physical_plan(expr: AlgebraExpr, instance: Instance,
     if resolved_batch_size < 1:
         raise EvaluationError(
             f"batch_size must be a positive integer, got {resolved_batch_size}")
+    resolved_batch_repr, _repr_reason = resolve_batch_repr(batch_repr)
 
     def wrap(op: PhysicalOp, label: str, node: AlgebraExpr,
              *children: PhysicalOp) -> PhysicalOp:
         op.batch_size = resolved_batch_size
+        op.batch_repr = resolved_batch_repr
         if profile is None:
             return op
         child_stats = tuple(c.stats for c in children

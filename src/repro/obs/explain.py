@@ -7,7 +7,9 @@ node's *estimated* cardinality (from
 rows produced, the invocation count, the cumulative elapsed time, and
 the node's **self** time (cumulative minus the children's share — the
 number that localizes a slow operator) — the shape of PostgreSQL's
-``EXPLAIN ANALYZE``.  With ``types=True`` (the default) each node also
+``EXPLAIN ANALYZE``.  Runs in column mode additionally carry per-node
+``kernel=``/``fallback=`` batch counts showing whether each node ran
+its vectorized kernel or fell back to tuple batches.  With ``types=True`` (the default) each node also
 carries a ``:: [...]`` line showing the column facts the plan type
 inferencer (:mod:`repro.analysis.typeinfer`) derived for it — value
 types, nullability, constants, keys, and the ``term_k`` finiteness
@@ -36,11 +38,15 @@ def _node_line(stats: OperatorStats) -> str:
     est = _fmt_rows(stats.estimated_rows)
     qe = stats.q_error
     q_text = f" q-err={qe:.2f}" if qe is not None else ""
+    kernel_text = ""
+    if stats.kernel_batches or stats.fallback_batches:
+        kernel_text = (f" kernel={stats.kernel_batches}"
+                       f" fallback={stats.fallback_batches}")
     return (f"{stats.label}{detail}  "
             f"(est={est} rows) "
             f"(actual rows={stats.rows_out} calls={stats.calls} "
             f"time={stats.elapsed_s * 1e3:.3f} ms "
-            f"self={stats.self_elapsed_s * 1e3:.3f} ms{q_text})")
+            f"self={stats.self_elapsed_s * 1e3:.3f} ms{q_text}{kernel_text})")
 
 
 def render_explain_analyze(profile: ExecutionProfile,

@@ -95,6 +95,11 @@ class OperatorStats:
     elapsed_s: float = 0.0        # cumulative: includes time in children
     child_elapsed_s: float = 0.0  # portion of elapsed_s spent inside children
     estimated_rows: float | None = None
+    #: Batches this node processed through its vectorized columnar
+    #: kernel / through the tuple fallback.  Both zero outside column
+    #: mode (and for the reference evaluator).
+    kernel_batches: int = 0
+    fallback_batches: int = 0
 
     @property
     def self_elapsed_s(self) -> float:
@@ -168,12 +173,15 @@ class ExecutionProfile:
             agg = out.setdefault(stats.label, {
                 "nodes": 0, "rows_out": 0, "calls": 0,
                 "elapsed_s": 0.0, "self_elapsed_s": 0.0, "max_q_error": None,
+                "kernel_batches": 0, "fallback_batches": 0,
             })
             agg["nodes"] += 1
             agg["rows_out"] += stats.rows_out
             agg["calls"] += stats.calls
             agg["elapsed_s"] += stats.elapsed_s
             agg["self_elapsed_s"] += stats.self_elapsed_s
+            agg["kernel_batches"] += stats.kernel_batches
+            agg["fallback_batches"] += stats.fallback_batches
             qe = stats.q_error
             if qe is not None:
                 prev = agg["max_q_error"]
@@ -198,6 +206,8 @@ class ExecutionProfile:
                 "estimated_rows": stats.estimated_rows,
                 "q_error": stats.q_error,
                 "typed_facts": stats.typed_facts,
+                "kernel_batches": stats.kernel_batches,
+                "fallback_batches": stats.fallback_batches,
             })
         return {
             "query": self.query,

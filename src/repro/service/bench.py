@@ -96,13 +96,16 @@ def _parameterized_fixture(n_rows: int = 2000):
 def run_service_bench(repeat: int = 5,
                       batch_sizes: tuple[int, ...] = (1, 8, 64),
                       best_of: int = 3,
-                      engine_batch_size: int | None = None) -> ServiceBench:
+                      engine_batch_size: int | None = None,
+                      engine_batch_repr: str | None = None) -> ServiceBench:
     """Measure both experiments; deterministic data, wall-clock timings.
 
     ``batch_sizes`` are *parameter-binding* batch sizes (how many
     parameter tuples per request); ``engine_batch_size`` is the
-    engine's rows-per-batch (``None`` = ``REPRO_BATCH_SIZE`` / default),
-    forwarded to every :class:`QueryService` the bench constructs.
+    engine's rows-per-batch (``None`` = ``REPRO_BATCH_SIZE`` / default)
+    and ``engine_batch_repr`` its batch representation (``None`` =
+    ``REPRO_BATCH_REPR`` / tuple), forwarded to every
+    :class:`QueryService` the bench constructs.
     """
     from repro.workloads.gallery import (
         GALLERY,
@@ -119,7 +122,8 @@ def run_service_bench(repeat: int = 5,
             continue
         clear_safety_caches()
         service = QueryService(instance, interpretation=interp,
-                               batch_size=engine_batch_size)
+                               batch_size=engine_batch_size,
+                               batch_repr=engine_batch_repr)
         t0 = time.perf_counter()
         first = service.run(entry.text)
         cold_ms = (time.perf_counter() - t0) * 1e3
@@ -138,7 +142,8 @@ def run_service_bench(repeat: int = 5,
     for batch in batch_sizes:
         values = [((i * 29) % 2000,) for i in range(batch)]
         service = QueryService(param_instance,
-                               batch_size=engine_batch_size)
+                               batch_size=engine_batch_size,
+                               batch_repr=engine_batch_repr)
         # Prime the plan cache so both paths measure pure serving cost.
         primed = service.run(ServiceRequest(
             params=("p",), head=("s",), body=body, rows=(values[0],)))

@@ -162,6 +162,10 @@ class ServiceReport:
     backend: str = "native"
     #: Why a requested non-native backend fell back ("" = it did not).
     backend_error: str = ""
+    #: The batch representation the native engine ran with.
+    batch_repr: str = "tuple"
+    #: Why a requested column representation fell back ("" = it did not).
+    batch_repr_error: str = ""
 
     @property
     def ok(self) -> bool:
@@ -190,6 +194,10 @@ class ServiceReport:
             out["backend"] = self.backend
         if self.backend_error:
             out["backend_error"] = self.backend_error
+        if self.batch_repr != "tuple":
+            out["batch_repr"] = self.batch_repr
+        if self.batch_repr_error:
+            out["batch_repr_error"] = self.batch_repr_error
         return out
 
     def summary(self) -> str:
@@ -216,7 +224,8 @@ class QueryService:
                  tracer: SpanTracer | None = None,
                  batch_size: int | None = None,
                  optimize: bool | None = None,
-                 backend: str | None = None):
+                 backend: str | None = None,
+                 batch_repr: str | None = None):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cache = PlanCache(cache_size, metrics=self.metrics)
@@ -235,6 +244,15 @@ class QueryService:
         # unknown name fails at construction, not on the first request.
         from repro.backends import resolve_backend
         self.backend = resolve_backend(backend)
+        # Batch representation for every execution this service runs;
+        # None defers to REPRO_BATCH_REPR / tuple.  Validated eagerly so
+        # an unknown name fails at construction; the columnar-
+        # availability fallback stays per-run (the executor reports it
+        # on each request, CI may toggle REPRO_NO_NUMPY between them).
+        from repro.engine.batches import resolve_batch_repr
+        if batch_repr is not None:
+            resolve_batch_repr(batch_repr)
+        self.batch_repr = batch_repr
         self._instance = instance
         # Statistics memo: collected once per instance swap, not per
         # request (backed by the content-addressed engine cache, so
@@ -539,7 +557,8 @@ class QueryService:
                 run = execute(plan, instance, interp, schema=outcome.schema,
                               batch_size=self.batch_size,
                               optimize=self.optimize,
-                              backend=self.backend, tracer=tracer)
+                              backend=self.backend,
+                              batch_repr=self.batch_repr, tracer=tracer)
                 if tracer.enabled:
                     span.attrs["rows"] = len(run.result)
                     if run.backend != "native":
@@ -556,6 +575,8 @@ class QueryService:
         report.function_calls = run.function_calls
         report.backend = run.backend
         report.backend_error = run.backend_error
+        report.batch_repr = run.batch_repr
+        report.batch_repr_error = run.batch_repr_error
         from repro.algebra.printer import to_algebra_text
         report.plan_text = to_algebra_text(outcome.plan)
         return report

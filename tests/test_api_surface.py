@@ -41,7 +41,8 @@ MODULES = PACKAGES + [
     "repro.semantics.eval_calculus", "repro.semantics.levels",
     "repro.semantics.domain_independence",
     "repro.engine.operators", "repro.engine.planner", "repro.engine.executor",
-    "repro.engine.stats", "repro.engine.optimizer",
+    "repro.engine.stats", "repro.engine.optimizer", "repro.engine.batches",
+    "repro.engine.compile",
     "repro.obs.tracing", "repro.obs.metrics", "repro.obs.profile",
     "repro.obs.explain", "repro.obs.export",
     "repro.analysis.diagnostics", "repro.analysis.linter",

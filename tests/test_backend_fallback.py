@@ -128,7 +128,11 @@ class TestExecutorFallback:
         # count must cover the engine that produced the answer.
         interp = Interpretation({"f": lambda v: None if v == 3 else v})
         plan = Project((CApp("f", (Col(1),)),), Rel("R"))
-        run = execute(plan, PLAIN, interp, backend="sqlite")
+        # batch_repr pinned: f's None result is not column-
+        # representable, so a column batch would legitimately re-apply
+        # f on the tuple-kernel retry and double the count under test.
+        run = execute(plan, PLAIN, interp, backend="sqlite",
+                      batch_repr="tuple")
         assert run.backend == "native" and run.backend_error
         assert run.function_calls == 3
 

@@ -22,6 +22,12 @@ join keys, negations, and anti-join conditions) queries across all
 three evaluators — the cases where the UNDEFINED-as-NULL mapping has
 the most room to go wrong.
 
+``TestBatchSizeInvariance`` and ``TestBatchReprInvariance`` then prove
+the engine's batching knobs are answer-invariant: every swept plan
+returns the identical relation at every batch size and under both
+batch representations (tuple lists and NumPy column batches), with the
+UNDEFINED-heavy cases riding along under the partial interpretation.
+
 Any mismatch fails with the query text, the seed, the generated SQL
 (for the sqlite leg), and both result sets, so a failure is
 reproducible from the message alone:
@@ -355,6 +361,180 @@ class TestBatchSizeInvariance:
         result = translate_query(entry.query)
         run = execute(result.plan, instance, interp, schema=result.schema)
         assert run.result == reference
+
+
+#: Batch representations the invariance sweep proves equivalent.  The
+#: column leg silently becomes a second tuple leg when NumPy is absent
+#: (the CB001 fallback) — still a valid, if vacuous, sweep, which is
+#: exactly the no-numpy CI leg's point.
+BATCH_REPRS = ("tuple", "column")
+
+#: Batch sizes for the representation sweep: degenerate single-row
+#: batches, a prime, and a size larger than every gallery relation
+#: (so whole inputs arrive as one batch).
+REPR_SWEEP_SIZES = (1, 7, 1024)
+
+
+class TestBatchReprInvariance:
+    """The batch representation must never change answers: every plan,
+    under tuple batches and column batches, at every swept batch size,
+    returns exactly the reference evaluator's relation.  The UNDEFINED-
+    heavy cases ride along under the partial interpretation — the place
+    where a wrong validity mask would first show."""
+
+    @pytest.mark.parametrize(
+        "key", [k for k, e in GALLERY.items() if e.translatable])
+    def test_gallery_is_repr_invariant(self, key):
+        entry = GALLERY[key]
+        instance = gallery_instance()
+        interp = standard_gallery_interp()
+        reference = evaluate_query(entry.query, instance, interp)
+        result = translate_query(entry.query)
+        for batch_repr in BATCH_REPRS:
+            for batch_size in REPR_SWEEP_SIZES:
+                run = execute(result.plan, instance, interp,
+                              schema=result.schema, batch_size=batch_size,
+                              batch_repr=batch_repr)
+                assert run.result == reference, _mismatch(
+                    f"executor@{batch_repr}/batch={batch_size}"
+                    "-vs-reference", -1, entry.text, reference, run.result)
+
+    def test_random_corpus_is_repr_invariant(self):
+        skipped = 0
+        for seed in SWEEP_SEEDS:
+            query, text, schema, instance, interp = _fixture(seed)
+            try:
+                reference = evaluate_query(query, instance, interp)
+            except EvaluationError:
+                skipped += 1
+                continue
+            result = translate_query(query)
+            for batch_repr in BATCH_REPRS:
+                for batch_size in REPR_SWEEP_SIZES:
+                    run = execute(result.plan, instance, interp,
+                                  schema=result.schema,
+                                  batch_size=batch_size,
+                                  batch_repr=batch_repr)
+                    assert run.result == reference, _mismatch(
+                        f"executor@{batch_repr}/batch={batch_size}"
+                        "-vs-reference", seed, text, reference, run.result)
+        assert skipped <= len(SWEEP_SEEDS) // 4, \
+            f"too many skipped sweep seeds: {skipped}"
+
+    @pytest.mark.parametrize("key,text", HEAVY_CASES,
+                             ids=[k for k, _ in HEAVY_CASES])
+    def test_undefined_heavy_cases_repr_invariant(self, key, text):
+        query = parse_query(text)
+        instance = gallery_instance()
+        interp = _heavy_interp()
+        reference = evaluate_query(query, instance, interp)
+        result = translate_query(query)
+        for batch_repr in BATCH_REPRS:
+            for batch_size in REPR_SWEEP_SIZES:
+                run = execute(result.plan, instance, interp,
+                              schema=result.schema, batch_size=batch_size,
+                              batch_repr=batch_repr)
+                assert run.result == reference, _mismatch(
+                    f"executor@{batch_repr}/batch={batch_size}"
+                    "-vs-reference[partial]", -1, text, reference,
+                    run.result)
+
+    def test_service_repr_invariant(self):
+        entry = GALLERY["q1"]
+        instance = gallery_instance()
+        interp = standard_gallery_interp()
+        reference = evaluate_query(entry.query, instance, interp)
+        for batch_repr in BATCH_REPRS:
+            with QueryService(instance, interpretation=interp,
+                              batch_repr=batch_repr) as svc:
+                report = svc.run(entry.text)
+            assert report.ok, (batch_repr, report.error)
+            assert report.result == reference, \
+                _mismatch(f"service@{batch_repr}-vs-reference", -1,
+                          entry.text, reference, report.result)
+
+
+class TestColumnBatchStreamProperty:
+    """Property: chunking any representable row stream into column
+    batches and concatenating their row views reproduces the tuple
+    stream exactly — same rows, same order, UNDEFINED positions
+    included.  (Set-equality over executions is covered above; this
+    pins the representation itself, with hypothesis driving the
+    shapes.)"""
+
+    @staticmethod
+    def _strategies():
+        from hypothesis import strategies as st
+        scalar = st.one_of(
+            st.integers(min_value=-2 ** 53, max_value=2 ** 53),
+            st.floats(allow_nan=False, allow_infinity=True),
+            st.text(max_size=6),
+            st.just(UNDEFINED),
+        )
+        return st, scalar
+
+    def test_chunked_column_batches_reproduce_the_row_stream(self, monkeypatch):
+        np = pytest.importorskip("numpy")  # noqa: F841 - availability gate
+        # This pins the column representation itself, so the CI
+        # fallback leg's no-numpy override must not apply here.
+        monkeypatch.delenv("REPRO_NO_NUMPY", raising=False)
+        from hypothesis import given, settings
+        from repro.engine.batches import ColumnBatch, column_from_values
+
+        st, scalar = self._strategies()
+
+        @settings(max_examples=200, deadline=None)
+        @given(st.integers(min_value=1, max_value=3).flatmap(
+                   lambda arity: st.lists(
+                       st.tuples(*[scalar] * arity), min_size=1,
+                       max_size=40)),
+               st.integers(min_value=1, max_value=7))
+        def check(rows, chunk):
+            streamed: list[tuple] = []
+            for lo in range(0, len(rows), chunk):
+                part = rows[lo:lo + chunk]
+                masked = [tuple(0 if v is UNDEFINED else v for v in row)
+                          for row in part]
+                columns = []
+                for j in range(len(part[0])):
+                    col = column_from_values(
+                        [row[j] for row in masked],
+                        mask=[row[j] is UNDEFINED for row in part])
+                    columns.append(col)
+                if any(c is None for c in columns):
+                    # Unrepresentable chunk: the engine would fall back
+                    # to the tuple kernel, so the stream is the rows
+                    # themselves.
+                    streamed.extend(part)
+                    continue
+                batch = ColumnBatch(tuple(columns), len(part))
+                streamed.extend(batch.to_rows())
+            assert streamed == rows
+            assert {r for r in streamed} == set(rows)
+
+        check()
+
+    def test_concat_matches_row_concatenation(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.delenv("REPRO_NO_NUMPY", raising=False)
+        from hypothesis import given, settings
+        from repro.engine.batches import ColumnBatch
+
+        st, _ = self._strategies()
+        row = st.tuples(st.integers(min_value=-100, max_value=100),
+                        st.integers(min_value=-100, max_value=100))
+
+        @settings(max_examples=100, deadline=None)
+        @given(st.lists(st.lists(row, min_size=1, max_size=10),
+                        min_size=1, max_size=5))
+        def check(chunks):
+            batches = [ColumnBatch.from_rows(c) for c in chunks]
+            assert all(b is not None for b in batches)
+            joined = ColumnBatch.concat(batches)
+            want = [r for c in chunks for r in c]
+            assert joined is not None and joined.to_rows() == want
+
+        check()
 
 
 class TestHarnessSelfChecks:
